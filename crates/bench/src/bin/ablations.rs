@@ -1,0 +1,213 @@
+//! Ablation studies for the design choices DESIGN.md calls out — knobs
+//! the paper fixes (or leaves implicit) whose effect is worth measuring:
+//!
+//! * `--study sync`      — FHB hardware vs Thread Fusion-style software
+//!   remerge hints (paper Section 2's closest related work).
+//! * `--study align`     — the merge-alignment slack (DESIGN.md §2:
+//!   "mechanisms the paper leaves implicit", item 2).
+//! * `--study lvip`      — LVIP table size (Table 4 uses 4K entries).
+//! * `--study fetchstyle`— trace-cache vs conventional fetch (paper §5:
+//!   "the trace cache actually had a negligible effect").
+//! * `--study prefetch`  — next-line L2 prefetch on/off.
+//! * `--study barrier`   — barrier-phased multi-threaded kernels vs the
+//!   default free-running ones (paper §4.4's synchronization
+//!   discussion: barriers are natural re-alignment points).
+//! * `--study fetchpolicy` — ICOUNT vs round-robin fetch-thread
+//!   selection (the baseline's Tullsen-style policy choice).
+//!
+//! ```text
+//! cargo run --release -p mmt-bench --bin ablations -- --study sync
+//! ```
+
+use mmt_bench::{arg_value, geomean, run_app_with, speedup, to_run_spec, FULL_SCALE};
+use mmt_sim::config::SyncPolicy;
+use mmt_sim::{FetchStyle, MmtLevel, SimConfig, Simulator};
+use mmt_workloads::{all_apps, App};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let study = arg_value(&args, "--study").unwrap_or_else(|| "sync".into());
+    let threads: usize = arg_value(&args, "--threads")
+        .map(|v| v.parse().expect("--threads takes a number"))
+        .unwrap_or(2);
+    let scale: u64 = arg_value(&args, "--scale")
+        .map(|v| v.parse().expect("--scale takes a number"))
+        .unwrap_or(FULL_SCALE);
+
+    match study.as_str() {
+        "sync" => sync_policy_study(threads, scale),
+        "align" => knob_study(
+            threads,
+            scale,
+            "merge-alignment slack (instructions)",
+            &[16, 64, 256, 1024, 4096],
+            |cfg, v| cfg.merge_alignment_slack = v as u64,
+        ),
+        "lvip" => knob_study(
+            threads,
+            scale,
+            "LVIP entries",
+            &[64, 512, 4096],
+            |cfg, v| cfg.lvip_entries = v,
+        ),
+        "fetchstyle" => fetch_style_study(threads, scale),
+        "barrier" => barrier_study(threads, scale),
+        "fetchpolicy" => knob_study(
+            threads,
+            scale,
+            "fetch policy (0=ICOUNT, 1=round-robin)",
+            &[0, 1],
+            |cfg, v| {
+                cfg.fetch_policy = if v == 0 {
+                    mmt_sim::config::FetchPolicy::ICount
+                } else {
+                    mmt_sim::config::FetchPolicy::RoundRobin
+                };
+            },
+        ),
+        "prefetch" => knob_study(
+            threads,
+            scale,
+            "next-line prefetch (0=off, 1=on)",
+            &[0, 1],
+            |cfg, v| cfg.hierarchy.prefetch = v != 0,
+        ),
+        other => {
+            eprintln!("unknown study '{other}' (sync|align|lvip|fetchstyle|prefetch|barrier|fetchpolicy)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Run an app under the software-hints policy (hints from the workload).
+fn run_hinted(app: &App, threads: usize, scale: u64) -> mmt_sim::SimResult {
+    let w = app.instance(threads, scale);
+    let mut cfg = SimConfig::paper_with(threads, MmtLevel::Fxr);
+    cfg.sync_policy = SyncPolicy::SoftwareHints;
+    cfg.remerge_hints = w.remerge_hints.clone();
+    Simulator::new(cfg, to_run_spec(w))
+        .expect("valid spec")
+        .run()
+        .expect("terminates")
+}
+
+fn sync_policy_study(threads: usize, scale: u64) {
+    println!(
+        "Ablation: FHB hardware vs software remerge hints ({threads} threads, MMT-FXR speedup \
+         over Base)"
+    );
+    println!("{:<14} {:>8} {:>8} {:>10} {:>10}", "app", "FHB", "hints", "FHB mrg%", "hint mrg%");
+    let (mut fhbs, mut hints) = (Vec::new(), Vec::new());
+    for app in all_apps() {
+        let base = run_app_with(&app, threads, MmtLevel::Base, scale, |_| {});
+        let fhb = run_app_with(&app, threads, MmtLevel::Fxr, scale, |_| {});
+        let hinted = run_hinted(&app, threads, scale);
+        let s_fhb = speedup(&base, &fhb);
+        let s_hint = speedup(&base, &hinted);
+        fhbs.push(s_fhb);
+        hints.push(s_hint);
+        println!(
+            "{:<14} {:>8.3} {:>8.3} {:>9.1}% {:>9.1}%",
+            app.name,
+            s_fhb,
+            s_hint,
+            fhb.stats.fetch_modes.fractions().0 * 100.0,
+            hinted.stats.fetch_modes.fractions().0 * 100.0,
+        );
+    }
+    println!(
+        "{:<14} {:>8.3} {:>8.3}   (paper: the hardware FHB removes the need for hints;\n\
+         {:>14} comparable results validate that claim)",
+        "geomean",
+        geomean(&fhbs),
+        geomean(&hints),
+        ""
+    );
+}
+
+fn fetch_style_study(threads: usize, scale: u64) {
+    println!(
+        "Ablation: trace-cache vs conventional fetch ({threads} threads; paper §5 reports the \
+         difference is negligible)"
+    );
+    println!("{:<14} {:>10} {:>13}", "app", "trace", "conventional");
+    for style in [FetchStyle::TraceCache, FetchStyle::Conventional] {
+        let mut speedups = Vec::new();
+        for app in all_apps() {
+            let base = run_app_with(&app, threads, MmtLevel::Base, scale, |c| {
+                c.fetch_style = style;
+            });
+            let fxr = run_app_with(&app, threads, MmtLevel::Fxr, scale, |c| {
+                c.fetch_style = style;
+            });
+            speedups.push(speedup(&base, &fxr));
+        }
+        println!("geomean {:?}: {:.3}", style, geomean(&speedups));
+    }
+}
+
+fn barrier_study(threads: usize, scale: u64) {
+    use mmt_isa::MemSharing;
+    use mmt_workloads::{data, generator};
+    println!(
+        "Ablation: barrier-phased kernels ({threads} threads, MMT-FXR speedup over Base, \
+         MERGE residency)"
+    );
+    println!("{:<14} {:>10} {:>10} {:>10} {:>10}", "app", "free", "barriered", "free mrg%", "barr mrg%");
+    for app in all_apps() {
+        if app.sharing() != MemSharing::Shared {
+            continue; // barriers need shared memory
+        }
+        let run_with_barrier = |every: u64, level: MmtLevel| {
+            let mut spec = app.spec.clone();
+            spec.barrier_every = every;
+            let iters = (spec.iters / scale).max(8);
+            let program = generator::generate(&spec, threads, iters);
+            let memories = data::build_memories(&spec, threads, false);
+            let cfg = SimConfig::paper_with(threads, level);
+            Simulator::new(
+                cfg,
+                mmt_sim::RunSpec {
+                    program,
+                    sharing: MemSharing::Shared,
+                    memories,
+                    threads,
+                },
+            )
+            .expect("valid spec")
+            .run()
+            .expect("terminates")
+        };
+        let free_base = run_with_barrier(0, MmtLevel::Base);
+        let free = run_with_barrier(0, MmtLevel::Fxr);
+        let barr_base = run_with_barrier(8, MmtLevel::Base);
+        let barr = run_with_barrier(8, MmtLevel::Fxr);
+        println!(
+            "{:<14} {:>10.3} {:>10.3} {:>9.1}% {:>9.1}%",
+            app.name,
+            speedup(&free_base, &free),
+            speedup(&barr_base, &barr),
+            free.stats.fetch_modes.fractions().0 * 100.0,
+            barr.stats.fetch_modes.fractions().0 * 100.0,
+        );
+    }
+}
+
+fn knob_study(
+    threads: usize,
+    scale: u64,
+    title: &str,
+    values: &[usize],
+    tweak: fn(&mut SimConfig, usize),
+) {
+    println!("Ablation: {title} ({threads} threads, MMT-FXR geomean speedup over Base)");
+    for &v in values {
+        let mut speedups = Vec::new();
+        for app in all_apps() {
+            let base = run_app_with(&app, threads, MmtLevel::Base, scale, |c| tweak(c, v));
+            let fxr = run_app_with(&app, threads, MmtLevel::Fxr, scale, |c| tweak(c, v));
+            speedups.push(speedup(&base, &fxr));
+        }
+        println!("{v:>6}: {:.3}", geomean(&speedups));
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 5(a)/(c): speedup of MMT-F, MMT-FX, MMT-FXR and Limit over a
+//! traditional SMT running the same number of threads, per application.
+//!
+//! ```text
+//! cargo run --release -p mmt-bench --bin fig5_speedup -- --threads 2
+//! cargo run --release -p mmt-bench --bin fig5_speedup -- --threads 4
+//! ```
+//!
+//! Paper headline: geometric-mean MMT-FXR speedups of ~1.15 (2 threads)
+//! and ~1.25 (4 threads); Limit strictly above FXR, with the largest
+//! FXR-to-Limit gaps for libsvm, twolf, vortex and vpr.
+
+use mmt_bench::{arg_value, geomean, run_app, run_limit, speedup, FULL_SCALE};
+use mmt_sim::MmtLevel;
+use mmt_workloads::all_apps;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads: usize = arg_value(&args, "--threads")
+        .map(|v| v.parse().expect("--threads takes a number"))
+        .unwrap_or(2);
+    let scale: u64 = arg_value(&args, "--scale")
+        .map(|v| v.parse().expect("--scale takes a number"))
+        .unwrap_or(FULL_SCALE);
+
+    println!("Figure 5({}): speedup over Base SMT, {threads} threads", if threads == 2 { 'a' } else { 'c' });
+    println!("{:<14} {:>7} {:>7} {:>8} {:>7}", "app", "MMT-F", "MMT-FX", "MMT-FXR", "Limit");
+    let mut cols: [Vec<f64>; 4] = Default::default();
+    for app in all_apps() {
+        let base = run_app(&app, threads, MmtLevel::Base, scale);
+        let f = speedup(&base, &run_app(&app, threads, MmtLevel::F, scale));
+        let fx = speedup(&base, &run_app(&app, threads, MmtLevel::Fx, scale));
+        let fxr = speedup(&base, &run_app(&app, threads, MmtLevel::Fxr, scale));
+        // Limit runs different (identical-input) work; normalize against
+        // a Base run of that same workload.
+        let limit_base = {
+            let cfg = mmt_sim::SimConfig::paper_with(threads, MmtLevel::Base);
+            let spec = mmt_bench::to_run_spec(app.limit_instance(threads, scale));
+            mmt_sim::Simulator::new(cfg, spec).unwrap().run().unwrap()
+        };
+        let limit = speedup(&limit_base, &run_limit(&app, threads, scale));
+        println!("{:<14} {f:>7.3} {fx:>7.3} {fxr:>8.3} {limit:>7.3}", app.name);
+        for (col, v) in cols.iter_mut().zip([f, fx, fxr, limit]) {
+            col.push(v);
+        }
+    }
+    println!(
+        "{:<14} {:>7.3} {:>7.3} {:>8.3} {:>7.3}",
+        "geomean",
+        geomean(&cols[0]),
+        geomean(&cols[1]),
+        geomean(&cols[2]),
+        geomean(&cols[3]),
+    );
+}

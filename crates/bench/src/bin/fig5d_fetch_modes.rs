@@ -1,0 +1,46 @@
+//! Figure 5(d): breakdown of fetched instructions by fetch mode
+//! (MERGE / DETECT / CATCHUP), plus the Section 6.3 remerge-distance
+//! statistic ("in 90% of the cases, the remerge point was found within
+//! 512 branches").
+//!
+//! Paper reading: CATCHUP is rare in most programs; vpr, twolf and
+//! vortex spend the least time in MERGE mode.
+//!
+//! ```text
+//! cargo run --release -p mmt-bench --bin fig5d_fetch_modes -- --threads 2
+//! ```
+
+use mmt_bench::{arg_value, run_app, FULL_SCALE};
+use mmt_sim::MmtLevel;
+use mmt_workloads::all_apps;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads: usize = arg_value(&args, "--threads")
+        .map(|v| v.parse().expect("--threads takes a number"))
+        .unwrap_or(2);
+    let scale: u64 = arg_value(&args, "--scale")
+        .map(|v| v.parse().expect("--scale takes a number"))
+        .unwrap_or(FULL_SCALE);
+
+    println!("Figure 5(d): fetch-mode breakdown, {threads} threads, MMT-FXR");
+    println!(
+        "{:<14} {:>8} {:>8} {:>9} {:>6} {:>8} {:>10}",
+        "app", "merge%", "detect%", "catchup%", "divs", "remerges", "<=512 tb"
+    );
+    for app in all_apps() {
+        let r = run_app(&app, threads, MmtLevel::Fxr, scale);
+        let (m, d, c) = r.stats.fetch_modes.fractions();
+        println!(
+            "{:<14} {:>8.1} {:>8.1} {:>9.1} {:>6} {:>8} {:>9.0}%",
+            app.name,
+            m * 100.0,
+            d * 100.0,
+            c * 100.0,
+            r.stats.divergences,
+            r.stats.remerges,
+            r.stats.remerges_within(512) * 100.0,
+        );
+    }
+    println!("\n(paper: ~90% of remerge points found within 512 taken branches)");
+}

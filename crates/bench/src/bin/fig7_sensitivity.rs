@@ -1,0 +1,106 @@
+//! Figure 7: sensitivity sweeps.
+//!
+//! * `--sweep fhb`   — Figures 7(a)+(c): per-app MMT-FXR speedup and
+//!   fetch-mode breakdown as the Fetch History Buffer grows from 8 to
+//!   128 entries. Paper reading: small gains through 32–128 entries for
+//!   most apps; twolf and water-sp dip slightly at large sizes.
+//! * `--sweep ports` — Figure 7(b): geomean speedup as load/store ports
+//!   (and MSHRs) grow from 2 to 12. Paper reading: more memory bandwidth
+//!   → larger MMT advantage.
+//! * `--sweep width` — Figure 7(d): geomean speedup as fetch width grows
+//!   from 4 to 32. Paper reading: gains shrink with width but remain
+//!   ~11% at 32.
+//!
+//! ```text
+//! cargo run --release -p mmt-bench --bin fig7_sensitivity -- --sweep fhb
+//! ```
+
+use mmt_bench::{arg_value, geomean, run_app_with, speedup, FULL_SCALE};
+use mmt_sim::MmtLevel;
+use mmt_workloads::all_apps;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sweep = arg_value(&args, "--sweep").unwrap_or_else(|| "fhb".into());
+    let threads: usize = arg_value(&args, "--threads")
+        .map(|v| v.parse().expect("--threads takes a number"))
+        .unwrap_or(2);
+    let scale: u64 = arg_value(&args, "--scale")
+        .map(|v| v.parse().expect("--scale takes a number"))
+        .unwrap_or(FULL_SCALE);
+
+    match sweep.as_str() {
+        "fhb" => sweep_fhb(threads, scale),
+        "ports" => sweep_geomean(
+            threads,
+            scale,
+            "Figure 7(b): speedup vs load/store ports (MSHRs scaled along)",
+            &[2, 4, 6, 8, 12],
+            |cfg, v| {
+                cfg.lsq_ports = v;
+                cfg.hierarchy.mshrs = 2 * v;
+            },
+        ),
+        "width" => sweep_geomean(
+            threads,
+            scale,
+            "Figure 7(d): speedup vs fetch width",
+            &[4, 8, 16, 32],
+            |cfg, v| cfg.fetch_width = v,
+        ),
+        other => {
+            eprintln!("unknown sweep '{other}' (expected fhb|ports|width)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn sweep_fhb(threads: usize, scale: u64) {
+    let sizes = [8usize, 16, 32, 64, 128];
+    println!("Figure 7(a)/(c): FHB size sweep, {threads} threads, MMT-FXR");
+    print!("{:<14}", "app");
+    for s in sizes {
+        print!("  {s:>5}e m/d/c");
+    }
+    println!();
+    for app in all_apps() {
+        print!("{:<14}", app.name);
+        for s in sizes {
+            let base = run_app_with(&app, threads, MmtLevel::Base, scale, |c| {
+                c.fhb_entries = s;
+            });
+            let fxr = run_app_with(&app, threads, MmtLevel::Fxr, scale, |c| {
+                c.fhb_entries = s;
+            });
+            let (m, d, c) = fxr.stats.fetch_modes.fractions();
+            print!(
+                " {:>5.2} {:>2.0}/{:>2.0}/{:>2.0}",
+                speedup(&base, &fxr),
+                m * 100.0,
+                d * 100.0,
+                c * 100.0
+            );
+        }
+        println!();
+    }
+    println!("\n(speedup then %insts fetched in MERGE/DETECT/CATCHUP per FHB size)");
+}
+
+fn sweep_geomean(
+    threads: usize,
+    scale: u64,
+    title: &str,
+    values: &[usize],
+    tweak: fn(&mut mmt_sim::SimConfig, usize),
+) {
+    println!("{title}, {threads} threads, MMT-FXR geomean over all apps");
+    for &v in values {
+        let mut speedups = Vec::new();
+        for app in all_apps() {
+            let base = run_app_with(&app, threads, MmtLevel::Base, scale, |c| tweak(c, v));
+            let fxr = run_app_with(&app, threads, MmtLevel::Fxr, scale, |c| tweak(c, v));
+            speedups.push(speedup(&base, &fxr));
+        }
+        println!("{v:>4}: {:.3}", geomean(&speedups));
+    }
+}

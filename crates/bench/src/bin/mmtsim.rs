@@ -1,0 +1,245 @@
+//! `mmtsim` — the general-purpose command-line driver: run any suite
+//! application (or all of them) on any configuration and print — or emit
+//! as JSON — the full statistics.
+//!
+//! ```text
+//! mmtsim --app equake --level fxr --threads 2
+//! mmtsim --app all --level base --threads 4 --scale 8
+//! mmtsim --app twolf --level fxr --json        # machine-readable output
+//! mmtsim --app water-ns --level fxr --fetch-style conventional --fhb 64
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! | flag | default | meaning |
+//! |---|---|---|
+//! | `--app NAME`      | `swaptions` | suite app name, or `all` |
+//! | `--level L`       | `fxr`       | `base`, `f`, `fx`, `fxr`, `limit` |
+//! | `--threads N`     | `2`         | hardware threads (1–4) |
+//! | `--scale N`       | `1`         | iteration divisor |
+//! | `--fhb N`         | `32`        | Fetch History Buffer entries |
+//! | `--ports N`       | `4`         | load/store ports |
+//! | `--width N`       | `8`         | fetch width |
+//! | `--fetch-style S` | `trace`     | `trace` or `conventional` |
+//! | `--sync S`        | `fhb`       | `fhb` or `hints` |
+//! | `--json`          | off         | print stats as JSON |
+//! | `--asm PATH`      | —           | simulate an assembly file instead of a suite app |
+//! | `--sharing S`     | `mt`        | with `--asm`: `mt` (shared memory) or `me` (per process) |
+
+use mmt_bench::{arg_value, to_run_spec, FULL_SCALE};
+use mmt_energy::EnergyModel;
+use mmt_sim::config::SyncPolicy;
+use mmt_sim::{FetchStyle, MmtLevel, SimConfig, SimResult, Simulator};
+use mmt_workloads::{all_apps, app_by_name, App};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = arg_value(&args, "--asm") {
+        run_asm(&path, &args);
+        return;
+    }
+    let app_name = arg_value(&args, "--app").unwrap_or_else(|| "swaptions".into());
+    let level_name = arg_value(&args, "--level").unwrap_or_else(|| "fxr".into());
+    let threads: usize = arg_value(&args, "--threads")
+        .map(|v| v.parse().expect("--threads takes 1..=4"))
+        .unwrap_or(2);
+    let scale: u64 = arg_value(&args, "--scale")
+        .map(|v| v.parse().expect("--scale takes a number"))
+        .unwrap_or(FULL_SCALE);
+    let json = args.iter().any(|a| a == "--json");
+
+    let apps: Vec<App> = if app_name == "all" {
+        all_apps()
+    } else {
+        vec![app_by_name(&app_name).unwrap_or_else(|| {
+            eprintln!(
+                "unknown app '{app_name}'; known: {}",
+                all_apps()
+                    .iter()
+                    .map(|a| a.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2);
+        })]
+    };
+
+    for app in &apps {
+        let (result, level_label) = run_one(app, &level_name, threads, scale, &args);
+        if json {
+            println!(
+                "{{\"app\":{:?},\"level\":{:?},\"threads\":{threads},\"stats\":{}}}",
+                app.name,
+                level_label,
+                serde_json::to_string(&result.stats).expect("stats serialize"),
+            );
+        } else {
+            print_human(app, &level_label, &result);
+        }
+    }
+}
+
+/// Simulate a hand-written assembly file (empty initial memories).
+fn run_asm(path: &str, args: &[String]) {
+    use mmt_isa::interp::Memory;
+    use mmt_isa::MemSharing;
+
+    let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let program = mmt_isa::parse::parse(&source).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    let threads: usize = arg_value(args, "--threads")
+        .map(|v| v.parse().expect("--threads takes 1..=4"))
+        .unwrap_or(2);
+    let sharing = match arg_value(args, "--sharing").as_deref() {
+        None | Some("mt") => MemSharing::Shared,
+        Some("me") => MemSharing::PerThread,
+        Some(other) => {
+            eprintln!("unknown sharing '{other}' (mt|me)");
+            std::process::exit(2);
+        }
+    };
+    let memories = match sharing {
+        MemSharing::Shared => vec![Memory::new(0)],
+        MemSharing::PerThread => (0..threads).map(Memory::new).collect(),
+    };
+    let level = match arg_value(args, "--level").as_deref() {
+        Some("base") => MmtLevel::Base,
+        Some("f") => MmtLevel::F,
+        Some("fx") => MmtLevel::Fx,
+        None | Some("fxr") => MmtLevel::Fxr,
+        Some(other) => {
+            eprintln!("unknown level '{other}' (base|f|fx|fxr)");
+            std::process::exit(2);
+        }
+    };
+    let cfg = SimConfig::paper_with(threads, level);
+    let result = Simulator::new(
+        cfg,
+        mmt_sim::RunSpec {
+            program,
+            sharing,
+            memories,
+            threads,
+        },
+    )
+    .expect("valid spec")
+    .run()
+    .unwrap_or_else(|e| {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    });
+    let fake_app = App {
+        name: "custom",
+        suite: mmt_workloads::Suite::Spec2000,
+        spec: all_apps()[0].spec.clone(),
+    };
+    print_human(&fake_app, level.name(), &result);
+}
+
+fn run_one(
+    app: &App,
+    level_name: &str,
+    threads: usize,
+    scale: u64,
+    args: &[String],
+) -> (SimResult, String) {
+    let (level, limit) = match level_name {
+        "base" => (MmtLevel::Base, false),
+        "f" => (MmtLevel::F, false),
+        "fx" => (MmtLevel::Fx, false),
+        "fxr" => (MmtLevel::Fxr, false),
+        "limit" => (MmtLevel::Fxr, true),
+        other => {
+            eprintln!("unknown level '{other}' (base|f|fx|fxr|limit)");
+            std::process::exit(2);
+        }
+    };
+    let mut cfg = SimConfig::paper_with(threads, level);
+    if let Some(v) = arg_value(args, "--fhb") {
+        cfg.fhb_entries = v.parse().expect("--fhb takes a number");
+    }
+    if let Some(v) = arg_value(args, "--ports") {
+        cfg.lsq_ports = v.parse().expect("--ports takes a number");
+    }
+    if let Some(v) = arg_value(args, "--width") {
+        cfg.fetch_width = v.parse().expect("--width takes a number");
+    }
+    match arg_value(args, "--fetch-style").as_deref() {
+        None | Some("trace") => {}
+        Some("conventional") => cfg.fetch_style = FetchStyle::Conventional,
+        Some(other) => {
+            eprintln!("unknown fetch style '{other}' (trace|conventional)");
+            std::process::exit(2);
+        }
+    }
+    let w = if limit {
+        app.limit_instance(threads, scale)
+    } else {
+        app.instance(threads, scale)
+    };
+    match arg_value(args, "--sync").as_deref() {
+        None | Some("fhb") => {}
+        Some("hints") => {
+            cfg.sync_policy = SyncPolicy::SoftwareHints;
+            cfg.remerge_hints = w.remerge_hints.clone();
+        }
+        Some(other) => {
+            eprintln!("unknown sync policy '{other}' (fhb|hints)");
+            std::process::exit(2);
+        }
+    }
+    let result = Simulator::new(cfg, to_run_spec(w))
+        .expect("valid config and spec")
+        .run()
+        .expect("workloads terminate");
+    let label = if limit { "limit".into() } else { level.name().to_string() };
+    (result, label)
+}
+
+fn print_human(app: &App, level: &str, r: &SimResult) {
+    let s = &r.stats;
+    let (m, d, c) = s.fetch_modes.fractions();
+    let id = &s.identity;
+    let energy = EnergyModel::default().energy(&s.energy);
+    println!("{} [{}] on {} threads:", app.name, level, s.retired_per_thread.len());
+    println!(
+        "  cycles {:>10}   ipc {:>5.2}   retired {:?}",
+        s.cycles,
+        s.ipc(),
+        s.retired_per_thread
+    );
+    println!(
+        "  fetch modes {:>5.1}% MERGE / {:>4.1}% DETECT / {:>4.1}% CATCHUP   \
+         div {} remerge {} (fp {})",
+        m * 100.0,
+        d * 100.0,
+        c * 100.0,
+        s.divergences,
+        s.remerges,
+        s.catchup_false_positives
+    );
+    println!(
+        "  identity {:>5.1}% exe + {:>4.1}% exe-regmerge + {:>5.1}% fetch-id + {:>5.1}% private",
+        id.execute_identical as f64 / id.total().max(1) as f64 * 100.0,
+        id.execute_identical_regmerge as f64 / id.total().max(1) as f64 * 100.0,
+        id.fetch_identical as f64 / id.total().max(1) as f64 * 100.0,
+        id.private as f64 / id.total().max(1) as f64 * 100.0,
+    );
+    println!(
+        "  caches   L1I {}/{}m   L1D {}/{}m   L2 {}m   branches {} ({} mispredicted)",
+        s.l1i.accesses, s.l1i.misses, s.l1d.accesses, s.l1d.misses, s.l2.misses, s.branches,
+        s.branch_mispredicts
+    );
+    println!(
+        "  LVIP {} lookups / {} rollbacks   energy {:.1} uJ ({:.2}% MMT overhead)\n",
+        s.lvip_lookups,
+        s.lvip_mispredicts,
+        energy.total() / 1000.0,
+        energy.overhead_fraction() * 100.0
+    );
+}

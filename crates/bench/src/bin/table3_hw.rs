@@ -1,0 +1,26 @@
+//! Table 3: conservative hardware-cost estimate of the MMT additions.
+//!
+//! ```text
+//! cargo run -p mmt-bench --bin table3_hw
+//! ```
+
+use mmt_sim::hw_cost::{total_storage_bits, TABLE3};
+
+fn main() {
+    println!("Table 3: Conservative Estimate of Hardware Requirements");
+    println!(
+        "{:<11} {:<38} {:>14} {:>8}",
+        "Component", "Description", "Area", "Delay"
+    );
+    for c in TABLE3 {
+        println!(
+            "{:<11} {:<38} {:>14} {:>8}",
+            c.name, c.description, c.area, c.delay
+        );
+    }
+    println!(
+        "\nTotal storage: {} bits ({:.1} KiB)",
+        total_storage_bits(),
+        total_storage_bits() as f64 / 8.0 / 1024.0
+    );
+}

@@ -1,0 +1,167 @@
+//! Instruction Thread ID masks.
+//!
+//! Section 4.1: "The instruction window is enlarged by 4 bits, and a bit
+//! is set for each thread with the corresponding PC. We call this 4-bit
+//! pattern ... the Instruction Thread ID (ITID) of the instruction."
+
+use std::fmt;
+
+/// A 4-bit thread-ownership mask attached to every in-flight instruction.
+///
+/// Bit `t` set means the instruction is being fetched/executed on behalf
+/// of hardware thread `t`.
+///
+/// # Examples
+///
+/// ```
+/// use mmt_sim::Itid;
+/// let i = Itid::from_mask(0b0110);
+/// assert_eq!(i.count(), 2);
+/// assert!(i.contains(1) && i.contains(2) && !i.contains(0));
+/// assert_eq!(i.threads().collect::<Vec<_>>(), vec![1, 2]);
+/// assert!(i.is_merged());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Itid(u8);
+
+impl Itid {
+    /// ITID owning only thread `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= mmt_isa::MAX_THREADS`.
+    pub fn single(t: usize) -> Itid {
+        assert!(t < mmt_isa::MAX_THREADS);
+        Itid(1 << t)
+    }
+
+    /// ITID from a raw bitmask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask is empty or has bits above
+    /// [`mmt_isa::MAX_THREADS`].
+    pub fn from_mask(mask: u8) -> Itid {
+        assert!(mask != 0, "ITID must own at least one thread");
+        assert!(
+            mask < (1 << mmt_isa::MAX_THREADS),
+            "ITID mask {mask:#b} exceeds MAX_THREADS"
+        );
+        Itid(mask)
+    }
+
+    /// ITID owning the first `n` threads.
+    pub fn all(n: usize) -> Itid {
+        Itid::from_mask(((1u16 << n) - 1) as u8)
+    }
+
+    /// The raw bitmask.
+    #[inline]
+    pub fn mask(self) -> u8 {
+        self.0
+    }
+
+    /// Whether thread `t` is an owner.
+    #[inline]
+    pub fn contains(self, t: usize) -> bool {
+        self.0 & (1 << t) != 0
+    }
+
+    /// Number of owning threads.
+    #[inline]
+    pub fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether more than one thread owns the instruction.
+    #[inline]
+    pub fn is_merged(self) -> bool {
+        self.count() >= 2
+    }
+
+    /// Lowest-numbered owning thread (the "representative" used for
+    /// front-end structures shared by a merge group).
+    #[inline]
+    pub fn lead(self) -> usize {
+        self.0.trailing_zeros() as usize
+    }
+
+    /// Iterate over owning thread ids, ascending.
+    pub fn threads(self) -> impl Iterator<Item = usize> {
+        let mask = self.0;
+        (0..mmt_isa::MAX_THREADS).filter(move |t| mask & (1 << t) != 0)
+    }
+
+    /// Iterate over unordered owner pairs `(t, u)` with `t < u`.
+    pub fn pairs(self) -> impl Iterator<Item = (usize, usize)> {
+        let mask = self.0;
+        (0..mmt_isa::MAX_THREADS).flat_map(move |t| {
+            ((t + 1)..mmt_isa::MAX_THREADS).filter_map(move |u| {
+                (mask & (1 << t) != 0 && mask & (1 << u) != 0).then_some((t, u))
+            })
+        })
+    }
+
+    /// Whether `other`'s owners are a subset of this ITID's.
+    pub fn superset_of(self, other: Itid) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl fmt::Display for Itid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04b}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert_eq!(Itid::single(0).mask(), 0b0001);
+        assert_eq!(Itid::single(3).mask(), 0b1000);
+        assert_eq!(Itid::all(4).mask(), 0b1111);
+        assert_eq!(Itid::all(2).mask(), 0b0011);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_mask_panics() {
+        let _ = Itid::from_mask(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_mask_panics() {
+        let _ = Itid::from_mask(0b1_0000);
+    }
+
+    #[test]
+    fn pair_enumeration() {
+        let pairs: Vec<_> = Itid::from_mask(0b1011).pairs().collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 3), (1, 3)]);
+        assert_eq!(Itid::single(2).pairs().count(), 0);
+        assert_eq!(Itid::all(4).pairs().count(), 6, "paper: 6 sharing pairs");
+    }
+
+    #[test]
+    fn lead_and_merged() {
+        assert_eq!(Itid::from_mask(0b1100).lead(), 2);
+        assert!(Itid::from_mask(0b1100).is_merged());
+        assert!(!Itid::single(1).is_merged());
+    }
+
+    #[test]
+    fn subset_relation() {
+        assert!(Itid::all(4).superset_of(Itid::from_mask(0b0101)));
+        assert!(!Itid::from_mask(0b0011).superset_of(Itid::from_mask(0b0101)));
+        assert!(Itid::single(2).superset_of(Itid::single(2)));
+    }
+
+    #[test]
+    fn display_is_four_bits() {
+        assert_eq!(Itid::from_mask(0b0110).to_string(), "0110");
+    }
+}

@@ -1,0 +1,1602 @@
+//! The cycle-level out-of-order SMT pipeline with the MMT mechanisms.
+//!
+//! ## Model
+//!
+//! The simulator is *oracle-functional, cycle-level timing*: every dynamic
+//! instruction is functionally executed (per thread, in program order) at
+//! fetch, producing exact operand/result values, effective addresses and
+//! branch outcomes ([`mmt_isa::interp::StepInfo`]). The timing model then
+//! determines *when* everything happens: fetch-width and fetch-entity
+//! limits, decode latency, rename width, issue width, functional-unit and
+//! load/store-port contention, cache latencies with MSHR-limited miss
+//! parallelism, ROB/LSQ/IQ occupancy, and in-order per-thread commit.
+//!
+//! Documented simplifications (standard for trace-driven reproduction and
+//! noted in DESIGN.md): wrong-path instructions are not fetched — a
+//! mispredicted control transfer instead blocks that thread's fetch until
+//! the branch executes, plus a redirect penalty; LVIP rollbacks charge the
+//! same penalty; stores are performed at issue; memory disambiguation is
+//! oracle-exact (no speculative reordering violations).
+//!
+//! ## MMT mechanisms (Section 4)
+//!
+//! * Shared fetch with ITID tagging; MERGE/DETECT/CATCHUP synchronization
+//!   via per-thread Fetch History Buffers ([`mmt_frontend::FetchSync`]).
+//! * The splitter stage between decode and rename
+//!   ([`crate::split::split_instruction_at`]) driven by the Register
+//!   Sharing Table, with LVIP-gated merged multi-execution loads.
+//! * Commit-time register merging with mapping-validity tracking and
+//!   port-limited value comparisons.
+
+use crate::config::{FetchPolicy, FetchStyle, SimConfig, SyncPolicy};
+use crate::itid::Itid;
+use crate::lvip::Lvip;
+use crate::rst::RegSharingTable;
+use crate::split::{split_instruction_at, SplitPart};
+use crate::stats::SimStats;
+use mmt_frontend::{Btb, FetchSync, Ras, SyncMode, TwoLevelPredictor};
+use mmt_isa::interp::{Machine, Memory, StepInfo};
+use mmt_isa::reg::NUM_REGS;
+use mmt_isa::{Inst, MemSharing, OpClass, Program, MAX_THREADS};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// A workload instance ready to simulate.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The (shared) program text.
+    pub program: Program,
+    /// Memory model: one shared memory (multi-threaded) or one per thread
+    /// (multi-execution).
+    pub sharing: MemSharing,
+    /// Initial memories: exactly 1 for [`MemSharing::Shared`], exactly
+    /// `threads` for [`MemSharing::PerThread`].
+    pub memories: Vec<Memory>,
+    /// Number of hardware threads to run.
+    pub threads: usize,
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configuration failed validation.
+    BadConfig(String),
+    /// The spec's memories do not match its sharing/threads.
+    BadSpec(String),
+    /// A thread faulted (PC or memory out of bounds).
+    Exec(mmt_isa::interp::ExecError),
+    /// `max_cycles` elapsed before all threads finished.
+    CycleLimit {
+        /// The configured limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadConfig(m) => write!(f, "invalid configuration: {m}"),
+            SimError::BadSpec(m) => write!(f, "invalid run spec: {m}"),
+            SimError::Exec(e) => write!(f, "thread faulted: {e}"),
+            SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} reached"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<mmt_isa::interp::ExecError> for SimError {
+    fn from(e: mmt_isa::interp::ExecError) -> Self {
+        SimError::Exec(e)
+    }
+}
+
+/// Result of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// All statistics.
+    pub stats: SimStats,
+    /// Final architected register values per thread (functional ground
+    /// truth — identical across MMT levels for the same workload).
+    pub final_regs: Vec<[u64; NUM_REGS]>,
+}
+
+type UopId = usize;
+
+#[derive(Debug, Clone)]
+struct MacroOp {
+    pc: u64,
+    inst: Inst,
+    itid: Itid,
+    infos: [Option<StepInfo>; MAX_THREADS],
+    ready_at: u64,
+    /// Members fetched while *not* in MERGE mode (register-merge
+    /// eligibility, Section 4.2.7).
+    detect_mask: u8,
+    /// Threads whose fetch is blocked until this instruction's uop
+    /// resolves (mispredicted control transfers).
+    blocks_mask: u8,
+}
+
+/// Sentinel for "blocked on a uop that has not been dispatched yet".
+const PENDING_UOP: UopId = usize::MAX;
+
+/// A thread only enters CATCHUP when its progress since the last sync
+/// event trails the other thread's by at least this many instructions
+/// (filters the loop ambiguity where both threads' targets sit in both
+/// FHBs).
+const CATCHUP_ENTRY_SLACK: u64 = 1;
+
+/// Abort a catch-up whose "behind" thread has sprinted this far past the
+/// "ahead" thread's progress without their PCs meeting — the direction
+/// was wrong (path-length asymmetry from detours makes progress a
+/// slightly noisy measure, so allow some slack).
+const CATCHUP_OVERSHOOT_SLACK: u64 = 256;
+
+#[derive(Debug, Clone)]
+struct Uop {
+    itid: Itid,
+    inst: Inst,
+    class: OpClass,
+    infos: [Option<StepInfo>; MAX_THREADS],
+    deps: Vec<UopId>,
+    detect_mask: u8,
+    /// The fetch ITID had more than one owner (even if this uop is a
+    /// split singleton) — extends register-merge eligibility to
+    /// fetch-identical instructions the RST pessimistically split.
+    fetched_merged: bool,
+    issued: bool,
+    complete_at: Option<u64>,
+    committed_mask: u8,
+    is_mem: bool,
+    /// D-cache accesses this uop performs (per-thread for ME, 1 for MT).
+    accesses: usize,
+}
+
+impl Uop {
+    fn completed(&self, now: u64) -> bool {
+        self.issued && self.complete_at.is_some_and(|c| c <= now)
+    }
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    machine: Machine,
+    mem_idx: usize,
+    /// Fetched the `halt` instruction.
+    halted_fetch: bool,
+    /// Fetch blocked until this cycle (i-cache miss, redirect penalty).
+    blocked_until: u64,
+    /// Fetch blocked until this uop completes (misprediction/rollback).
+    blocked_on: Option<UopId>,
+    /// Uops in flight (ICOUNT fetch policy).
+    inflight: u64,
+    /// Taken branches since last divergence (remerge-distance stat).
+    branches_since_diverge: u64,
+    /// Software-hint mode: cycle at which this thread parked at a
+    /// remerge-hint PC (None = not parked).
+    hint_parked_since: Option<u64>,
+    /// Software-hint mode: hint PC to skip after a park timed out (so the
+    /// thread does not immediately re-park on the same instruction).
+    hint_skip_pc: Option<u64>,
+
+    /// In-flight writer counts per architected register (incremented at
+    /// fetch, decremented at commit) — the paper's "Reg State" bit
+    /// vector generalized to a counter.
+    writers: [u32; NUM_REGS],
+    /// Committed architected register values.
+    commit_regs: [u64; NUM_REGS],
+    /// Per-thread program-order commit queue.
+    commit_queue: VecDeque<UopId>,
+    retired: u64,
+}
+
+/// The simulator. Construct with [`Simulator::new`], run with
+/// [`Simulator::run`].
+///
+/// # Examples
+///
+/// ```
+/// use mmt_sim::{RunSpec, SimConfig, Simulator, MmtLevel};
+/// use mmt_isa::{asm::Builder, interp::Memory, MemSharing, Reg};
+///
+/// let mut b = Builder::new();
+/// b.addi(Reg::R1, Reg::R0, 41);
+/// b.addi(Reg::R1, Reg::R1, 1);
+/// b.halt();
+/// let spec = RunSpec {
+///     program: b.build()?,
+///     sharing: MemSharing::Shared,
+///     memories: vec![Memory::new(0)],
+///     threads: 2,
+/// };
+/// let cfg = SimConfig::paper_with(2, MmtLevel::Fxr);
+/// let result = Simulator::new(cfg, spec)?.run()?;
+/// assert_eq!(result.final_regs[0][Reg::R1.index()], 42);
+/// assert_eq!(result.final_regs[1][Reg::R1.index()], 42);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: SimConfig,
+    program: Program,
+    sharing: MemSharing,
+    memories: Vec<Memory>,
+    threads: Vec<ThreadState>,
+    now: u64,
+
+    // Front end.
+    sync: FetchSync,
+    bpred: TwoLevelPredictor,
+    btb: Btb,
+    rases: Vec<Ras>,
+    hierarchy: mmt_mem::MemoryHierarchy,
+    decode_queue: VecDeque<MacroOp>,
+    decode_capacity: usize,
+
+    // MMT structures.
+    rst: RegSharingTable,
+    lvip: Lvip,
+
+    // Back end.
+    uops: Vec<Uop>,
+    iq: Vec<UopId>,
+    rob_live: usize,
+    lsq_live: usize,
+    /// Per-thread in-flight stores `(uop id, word address)`.
+    store_lists: Vec<Vec<(UopId, u64)>>,
+    /// Latest in-flight producer per thread per architected register.
+    rat: Vec<[Option<UopId>; NUM_REGS]>,
+
+    /// Pairwise retirement snapshots taken the last time each thread
+    /// pair was synchronized (merged together, or split apart by the
+    /// same divergence). Progress comparisons between two threads are
+    /// only meaningful from a common epoch: per-thread baselines go
+    /// stale as soon as the threads synchronize with *different*
+    /// partners at different times.
+    pair_sync: [[(u64, u64); MAX_THREADS]; MAX_THREADS],
+
+    dbg_merge_fail_writers: u64,
+    dbg_merge_fail_compare: u64,
+    dbg_idle_cycles: u64,
+    dbg_unmerged_cycles: u64,
+    dbg_stall_frontend: u64,
+    dbg_stall_rob: u64,
+    dbg_stall_iq: u64,
+    dbg_stall_other: u64,
+    dbg_dispatch_hist: [u64; 9],
+    stats: SimStats,
+}
+
+impl Simulator {
+    /// Build a simulator for one run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadConfig`] / [`SimError::BadSpec`] when the
+    /// configuration or spec is inconsistent.
+    pub fn new(cfg: SimConfig, spec: RunSpec) -> Result<Simulator, SimError> {
+        cfg.validate().map_err(SimError::BadConfig)?;
+        let expected_mems = match spec.sharing {
+            MemSharing::Shared => 1,
+            MemSharing::PerThread => spec.threads,
+        };
+        if spec.memories.len() != expected_mems {
+            return Err(SimError::BadSpec(format!(
+                "{:?} workload with {} threads needs {} memories, got {}",
+                spec.sharing,
+                spec.threads,
+                expected_mems,
+                spec.memories.len()
+            )));
+        }
+        if spec.threads != cfg.threads {
+            return Err(SimError::BadSpec(format!(
+                "spec has {} threads but config has {}",
+                spec.threads, cfg.threads
+            )));
+        }
+        if spec.program.is_empty() {
+            return Err(SimError::BadSpec("empty program".into()));
+        }
+
+        let n = spec.threads;
+        let threads = (0..n)
+            .map(|t| ThreadState {
+                machine: Machine::new(t),
+                mem_idx: match spec.sharing {
+                    MemSharing::Shared => 0,
+                    MemSharing::PerThread => t,
+                },
+                halted_fetch: false,
+                blocked_until: 0,
+                blocked_on: None,
+                inflight: 0,
+                branches_since_diverge: 0,
+                hint_parked_since: None,
+                hint_skip_pc: None,
+                writers: [0; NUM_REGS],
+                commit_regs: [0; NUM_REGS],
+                commit_queue: VecDeque::new(),
+                retired: 0,
+            })
+            .collect();
+
+        let stats = SimStats {
+            retired_per_thread: vec![0; n],
+            ..SimStats::default()
+        };
+
+        Ok(Simulator {
+            sync: FetchSync::new(n, cfg.fhb_entries),
+            bpred: TwoLevelPredictor::new(cfg.predictor, n),
+            btb: Btb::new(cfg.btb_entries),
+            rases: (0..n).map(|_| Ras::new(cfg.ras_depth)).collect(),
+            hierarchy: mmt_mem::MemoryHierarchy::new(cfg.hierarchy),
+            decode_queue: VecDeque::new(),
+            decode_capacity: cfg.fetch_width * 4,
+            rst: RegSharingTable::new_all_shared(),
+            lvip: Lvip::new(cfg.lvip_entries),
+            uops: Vec::new(),
+            iq: Vec::new(),
+            rob_live: 0,
+            lsq_live: 0,
+            store_lists: (0..n).map(|_| Vec::new()).collect(),
+            rat: (0..n).map(|_| [None; NUM_REGS]).collect(),
+            pair_sync: [[(0, 0); MAX_THREADS]; MAX_THREADS],
+            dbg_merge_fail_writers: 0,
+            dbg_merge_fail_compare: 0,
+            dbg_idle_cycles: 0,
+            dbg_unmerged_cycles: 0,
+            dbg_stall_frontend: 0,
+            dbg_stall_rob: 0,
+            dbg_stall_iq: 0,
+            dbg_stall_other: 0,
+            dbg_dispatch_hist: [0; 9],
+            threads,
+            now: 0,
+            program: spec.program,
+            sharing: spec.sharing,
+            memories: spec.memories,
+            stats,
+            cfg,
+        })
+    }
+
+    /// Run to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Exec`] if a thread faults, [`SimError::CycleLimit`] if
+    /// the configured cycle cap is reached.
+    pub fn run(mut self) -> Result<SimResult, SimError> {
+        while !self.finished() {
+            if self.now >= self.cfg.max_cycles {
+                return Err(SimError::CycleLimit {
+                    limit: self.cfg.max_cycles,
+                });
+            }
+            if self.rob_live == 0 && self.decode_queue.is_empty() {
+                self.dbg_idle_cycles += 1;
+            }
+            if self.cfg.level.shared_fetch() {
+                let n = self.threads.len();
+                let unmerged = (0..n).any(|t| {
+                    !self.threads[t].halted_fetch && !self.sync.is_merged(t)
+                });
+                if unmerged {
+                    self.dbg_unmerged_cycles += 1;
+                    let retired0 = self.stats.energy.commits;
+                    let _ = retired0;
+                }
+            }
+            let disp_before = self.stats.uops_dispatched;
+            let commits0 = self.stats.energy.commits;
+            let exec0 = self.stats.uops_executed;
+            let disp0 = self.stats.uops_dispatched;
+            let fetch0 = self.stats.macro_ops_fetched;
+            self.commit_stage();
+            self.issue_stage();
+            self.dispatch_stage();
+            let disp_now = self.stats.uops_dispatched - disp_before;
+            self.dbg_dispatch_hist[disp_now.min(8) as usize] += 1;
+            if disp_now == 0 {
+                let head_ready = self
+                    .decode_queue
+                    .front()
+                    .is_some_and(|m| m.ready_at <= self.now);
+                if !head_ready {
+                    self.dbg_stall_frontend += 1;
+                } else if self.rob_live + 4 > self.cfg.rob_size {
+                    self.dbg_stall_rob += 1;
+                } else if self.iq.len() + 4 > self.cfg.iq_size {
+                    self.dbg_stall_iq += 1;
+                } else {
+                    self.dbg_stall_other += 1;
+                }
+            }
+            self.fetch_stage()?;
+            if let Some(range) = trace_range() {
+                if range.contains(&self.now) {
+                    eprintln!(
+                        "cyc {:4} fetch {} disp {} exec {} commit {} | dq {} iq {} rob {} blocked {:?}",
+                        self.now,
+                        self.stats.macro_ops_fetched - fetch0,
+                        self.stats.uops_dispatched - disp0,
+                        self.stats.uops_executed - exec0,
+                        self.stats.energy.commits - commits0,
+                        self.decode_queue.len(),
+                        self.iq.len(),
+                        self.rob_live,
+                        self.threads
+                            .iter()
+                            .map(|t| (t.blocked_until, t.blocked_on))
+                            .collect::<Vec<_>>(),
+                    );
+                }
+            }
+            self.now += 1;
+        }
+
+        self.stats.cycles = self.now;
+        for t in 0..self.threads.len() {
+            self.stats.retired_per_thread[t] = self.threads[t].retired;
+        }
+        self.stats.l1i = self.hierarchy.l1i_stats();
+        self.stats.l1d = self.hierarchy.l1d_stats();
+        self.stats.l2 = self.hierarchy.l2_stats();
+        self.stats.lvip_lookups = self.lvip.lookup_count();
+        self.stats.lvip_mispredicts = self.lvip.mispredict_count();
+        if std::env::var_os("MMT_DEBUG_MERGE").is_some() {
+            eprintln!(
+                "merge-check: sets={} fail_writers={} fail_compare={} idle_cycles={}",
+                self.rst.merge_set_count(),
+                self.dbg_merge_fail_writers,
+                self.dbg_merge_fail_compare,
+                self.dbg_idle_cycles
+            );
+            eprintln!(
+                "dispatch hist: {:?} unmerged_cycles={}",
+                self.dbg_dispatch_hist, self.dbg_unmerged_cycles
+            );
+            eprintln!(
+                "stalls: frontend={} rob={} iq={} other={}",
+                self.dbg_stall_frontend, self.dbg_stall_rob, self.dbg_stall_iq, self.dbg_stall_other
+            );
+        }
+        let (_, catchup_aborts, merges, divergences) = self.sync.stats();
+        self.stats.remerges = merges;
+        self.stats.divergences = divergences;
+        self.stats.catchup_false_positives = catchup_aborts;
+        let (fhb_rec, fhb_search) = self.sync.fhb_activity();
+        self.stats.energy.fhb_ops = fhb_rec + fhb_search;
+        self.stats.energy.rst_updates = self.rst.update_count();
+        self.stats.energy.lvip_lookups = self.lvip.lookup_count();
+        self.stats.energy.cycles = self.now;
+        self.stats.energy.icache_accesses = self.stats.l1i.accesses;
+        self.stats.energy.dcache_accesses = self.stats.l1d.accesses;
+        self.stats.energy.l2_accesses = self.stats.l2.accesses;
+        self.stats.energy.dram_accesses = self.stats.l2.misses;
+
+        let final_regs = self.threads.iter().map(|t| *t.machine.regs()).collect();
+        Ok(SimResult {
+            stats: self.stats,
+            final_regs,
+        })
+    }
+
+    fn finished(&self) -> bool {
+        self.decode_queue.is_empty()
+            && self
+                .threads
+                .iter()
+                .all(|t| t.halted_fetch && t.commit_queue.is_empty())
+    }
+
+    // ----------------------------------------------------------------
+    // Commit
+    // ----------------------------------------------------------------
+
+    fn commit_stage(&mut self) {
+        let mut budget = self.cfg.commit_width;
+        let mut merge_checks = self.cfg.merge_checks_per_cycle;
+        while budget > 0 {
+            // Find the lowest-id uop that is at the head of EVERY owning
+            // thread's queue and has completed execution.
+            let mut candidate: Option<UopId> = None;
+            for t in &self.threads {
+                if let Some(&head) = t.commit_queue.front() {
+                    if self.uops[head].completed(self.now)
+                        && self.uops[head]
+                            .itid
+                            .threads()
+                            .all(|u| self.threads[u].commit_queue.front() == Some(&head))
+                        && candidate.is_none_or(|c| head < c)
+                    {
+                        candidate = Some(head);
+                    }
+                }
+            }
+            let Some(id) = candidate else { break };
+            self.commit_uop(id, &mut merge_checks);
+            budget -= 1;
+        }
+    }
+
+    fn commit_uop(&mut self, id: UopId, merge_checks: &mut usize) {
+        let (itid, inst, detect_mask, fetched_merged) = {
+            let u = &self.uops[id];
+            (u.itid, u.inst, u.detect_mask, u.fetched_merged)
+        };
+        let dest = inst.dest().filter(|r| !r.is_zero());
+        self.stats.energy.commits += 1;
+        if dest.is_some() {
+            self.stats.energy.regfile_writes += 1;
+        }
+
+        for t in itid.threads() {
+            let ts = &mut self.threads[t];
+            let popped = ts.commit_queue.pop_front();
+            debug_assert_eq!(popped, Some(id));
+            ts.inflight -= 1;
+            ts.retired += 1;
+            if let Some(rd) = dest {
+                debug_assert!(ts.writers[rd.index()] > 0);
+                ts.writers[rd.index()] -= 1;
+                let result = self.uops[id].infos[t]
+                    .as_ref()
+                    .and_then(|i| i.result)
+                    .expect("dest implies a result");
+                ts.commit_regs[rd.index()] = result;
+                if self.rat[t][rd.index()] == Some(id) {
+                    self.rat[t][rd.index()] = None;
+                }
+            }
+        }
+
+        // Register merging (Section 4.2.7): for instructions fetched in
+        // DETECT/CATCHUP mode — and for fetch-identical instructions the
+        // RST pessimistically split (the post-remerge "entire register
+        // set divergent" recovery case the section motivates) — when the
+        // committing mapping is still valid, limited by register-file
+        // port availability.
+        let merge_eligible = detect_mask != 0 || (fetched_merged && !itid.is_merged());
+        if self.cfg.level.register_merging() && merge_eligible {
+            if let Some(rd) = dest {
+                for t in itid.threads() {
+                    if detect_mask & (1 << t) == 0 && !fetched_merged {
+                        continue;
+                    }
+                    if self.threads[t].writers[rd.index()] != 0 {
+                        self.dbg_merge_fail_writers += 1;
+                        continue; // mapping no longer valid
+                    }
+                    let result = self.threads[t].commit_regs[rd.index()];
+                    for u in 0..self.threads.len() {
+                        if itid.contains(u) || *merge_checks == 0 {
+                            continue;
+                        }
+                        // No port wasted when the pair is already known
+                        // to share the register.
+                        if self.rst.pair_shared(rd, t, u) {
+                            continue;
+                        }
+                        // The other thread's bit-vector says no active
+                        // instruction is writing the register.
+                        if self.threads[u].writers[rd.index()] != 0 {
+                            self.dbg_merge_fail_writers += 1;
+                            continue;
+                        }
+                        *merge_checks -= 1;
+                        self.stats.energy.merge_checks += 1;
+                        self.stats.energy.regfile_reads += 1;
+                        if self.threads[u].commit_regs[rd.index()] == result {
+                            self.rst.set_merged(rd, t, u);
+                        } else {
+                            self.dbg_merge_fail_compare += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        let u = &mut self.uops[id];
+        u.committed_mask = itid.mask();
+        self.rob_live -= 1;
+        if u.is_mem {
+            self.lsq_live -= 1;
+            if matches!(inst, Inst::St { .. }) {
+                for t in itid.threads() {
+                    self.store_lists[t].retain(|&(sid, _)| sid != id);
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Issue / execute
+    // ----------------------------------------------------------------
+
+    fn issue_stage(&mut self) {
+        let mut budget = self.cfg.issue_width;
+        let mut alu = self.cfg.int_alus;
+        let mut fpu = self.cfg.fpus;
+        let mut ports = self.cfg.lsq_ports;
+
+        // Age-ordered select: the IQ vector is in dispatch order; collect
+        // issued entries and remove them afterwards so the scan order
+        // stays oldest-first.
+        let mut issued_ids: Vec<UopId> = Vec::new();
+        let mut i = 0;
+        while i < self.iq.len() {
+            if budget == 0 {
+                break;
+            }
+            let id = self.iq[i];
+            if !self.deps_ready(id) || !self.mem_ready(id) {
+                i += 1;
+                continue;
+            }
+            let (class, accesses, is_mem) = {
+                let u = &self.uops[id];
+                (u.class, u.accesses, u.is_mem)
+            };
+            // Functional-unit / port availability.
+            let ok = if is_mem {
+                if accesses > self.cfg.lsq_ports {
+                    ports == self.cfg.lsq_ports // needs a full-width burst
+                } else {
+                    ports >= accesses
+                }
+            } else if class.is_fpu() {
+                fpu > 0
+            } else {
+                alu > 0
+            };
+            if !ok {
+                i += 1;
+                continue;
+            }
+
+            // Consume resources and compute completion.
+            budget -= 1;
+            let complete_at = if is_mem {
+                let consumed = accesses.min(self.cfg.lsq_ports);
+                ports -= consumed;
+                // Serialization beyond the port width adds cycles.
+                let extra = (accesses.saturating_sub(1) / self.cfg.lsq_ports) as u64;
+                self.execute_mem(id) + extra
+            } else {
+                if class.is_fpu() {
+                    fpu -= 1;
+                } else {
+                    alu -= 1;
+                }
+                self.now + class.latency()
+            };
+            {
+                let u = &mut self.uops[id];
+                u.issued = true;
+                u.complete_at = Some(complete_at);
+            }
+            self.stats.energy.executions += 1;
+            self.stats.energy.regfile_reads += self.uops[id].inst.sources().len() as u64;
+            self.stats.uops_executed += 1;
+            issued_ids.push(id);
+            i += 1;
+        }
+        if !issued_ids.is_empty() {
+            self.iq.retain(|id| !issued_ids.contains(id));
+        }
+    }
+
+    fn deps_ready(&self, id: UopId) -> bool {
+        self.uops[id]
+            .deps
+            .iter()
+            .all(|&d| self.uops[d].completed(self.now))
+    }
+
+    /// Loads must wait for older overlapping stores from the same thread
+    /// to complete (oracle-exact disambiguation; completed stores forward).
+    fn mem_ready(&self, id: UopId) -> bool {
+        let u = &self.uops[id];
+        if !matches!(u.inst, Inst::Ld { .. }) {
+            return true;
+        }
+        for t in u.itid.threads() {
+            let addr = u.infos[t]
+                .as_ref()
+                .and_then(|i| i.mem_addr)
+                .expect("load has an address");
+            for &(sid, saddr) in &self.store_lists[t] {
+                if sid < id && saddr == addr && !self.uops[sid].completed(self.now) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn execute_mem(&mut self, id: UopId) -> u64 {
+        let (itid, inst) = {
+            let u = &self.uops[id];
+            (u.itid, u.inst)
+        };
+        let is_store = matches!(inst, Inst::St { .. });
+        let mut done = self.now + 1;
+        match self.sharing {
+            MemSharing::Shared => {
+                // One access regardless of merging: memory is shared.
+                let lead = itid.lead();
+                let addr = self.uops[id].infos[lead]
+                    .as_ref()
+                    .and_then(|i| i.mem_addr)
+                    .expect("mem uop has an address");
+                let out = self.hierarchy.access_data(0, addr, self.now, is_store);
+                done = done.max(out.completes_at);
+            }
+            MemSharing::PerThread => {
+                // The LSQ expands merged accesses and performs them
+                // separately (Table 2); completion is the slowest.
+                for t in itid.threads() {
+                    let addr = self.uops[id].infos[t]
+                        .as_ref()
+                        .and_then(|i| i.mem_addr)
+                        .expect("mem uop has an address");
+                    let out = self.hierarchy.access_data(t, addr, self.now, is_store);
+                    done = done.max(out.completes_at);
+                }
+            }
+        }
+        done
+    }
+
+    // ----------------------------------------------------------------
+    // Dispatch: split + rename
+    // ----------------------------------------------------------------
+
+    fn dispatch_stage(&mut self) {
+        let mut slots = self.cfg.rename_width;
+        // Not a `while let`: the loop body conditionally pops the front
+        // only after resource checks pass.
+        #[allow(clippy::while_let_loop)]
+        loop {
+            let Some(mo) = self.decode_queue.front() else { break };
+            if mo.ready_at > self.now || slots == 0 {
+                break;
+            }
+            let mo = mo.clone();
+
+            // Split (the MMT stage between decode and the RAT).
+            let mut outcome = split_instruction_at(
+                mo.pc,
+                mo.inst,
+                mo.itid,
+                self.sharing,
+                self.cfg.level,
+                &self.rst,
+                &mut self.lvip,
+            );
+            if mo.itid.is_merged() && self.cfg.level.shared_execute() {
+                self.stats.energy.split_evals += 1;
+            }
+
+            // LVIP verification, oracle-resolved at dispatch: merged ME
+            // loads whose actual values differ are split here and the
+            // rollback penalty is charged (the hardware would flush and
+            // refetch; see module docs).
+            let mut lvip_rollback = false;
+            let mut verified: Vec<SplitPart> = Vec::with_capacity(outcome.parts.len());
+            for part in &outcome.parts {
+                if part.lvip_speculative {
+                    let lead = part.itid.lead();
+                    let lead_val = mo.infos[lead].as_ref().and_then(|i| i.loaded);
+                    let all_equal = part
+                        .itid
+                        .threads()
+                        .all(|t| mo.infos[t].as_ref().and_then(|i| i.loaded) == lead_val);
+                    if all_equal {
+                        self.lvip.record_match(mo.pc);
+                        verified.push(*part);
+                    } else {
+                        self.lvip.record_mismatch(mo.pc);
+                        lvip_rollback = true;
+                        verified.extend(part.itid.threads().map(|t| SplitPart {
+                            itid: Itid::single(t),
+                            lvip_speculative: false,
+                        }));
+                    }
+                } else {
+                    verified.push(*part);
+                }
+            }
+            outcome.parts = verified;
+
+            // Structural resources for the whole split set.
+            let parts = outcome.parts.len();
+            let is_mem = mo.inst.class().is_mem();
+            if parts > slots
+                || self.rob_live + parts > self.cfg.rob_size
+                || self.iq.len() + parts > self.cfg.iq_size
+                || (is_mem && self.lsq_live + parts > self.cfg.lsq_size)
+            {
+                break;
+            }
+            self.decode_queue.pop_front();
+            slots -= parts;
+            self.stats.uops_dispatched += parts as u64;
+            self.stats.energy.renames += parts as u64;
+
+            // RST destination update (Section 4.2.3).
+            if self.cfg.level.shared_execute() {
+                if let Some(rd) = mo.inst.dest() {
+                    self.rst.update_dest(rd, mo.itid, &outcome.itids());
+                }
+            }
+
+            // Identity accounting (Figure 5(b)).
+            for part in &outcome.parts {
+                for _t in part.itid.threads() {
+                    if !mo.itid.is_merged() {
+                        self.stats.identity.private += 1;
+                    } else if part.itid.is_merged() {
+                        if outcome.regmerge_assisted {
+                            self.stats.identity.execute_identical_regmerge += 1;
+                        } else {
+                            self.stats.identity.execute_identical += 1;
+                        }
+                    } else {
+                        self.stats.identity.fetch_identical += 1;
+                    }
+                }
+            }
+
+            // Create and rename the uops.
+            let mut created: Vec<UopId> = Vec::with_capacity(parts);
+            for part in &outcome.parts {
+                let id = self.uops.len();
+                let mut deps = Vec::new();
+                for t in part.itid.threads() {
+                    for r in mo.inst.sources().iter() {
+                        if r.is_zero() {
+                            continue;
+                        }
+                        if let Some(p) = self.rat[t][r.index()] {
+                            if !deps.contains(&p) {
+                                deps.push(p);
+                            }
+                        }
+                    }
+                }
+                let accesses = if is_mem {
+                    match self.sharing {
+                        MemSharing::Shared => 1,
+                        MemSharing::PerThread => part.itid.count(),
+                    }
+                } else {
+                    0
+                };
+                // In debug runs, enforce the merged-execution soundness
+                // invariant: every owning thread must produce the same
+                // result (the RST may only merge value-identical work).
+                #[cfg(debug_assertions)]
+                if part.itid.is_merged() && !part.lvip_speculative {
+                    let lead = part.itid.lead();
+                    let lead_res = mo.infos[lead].as_ref().and_then(|i| i.result);
+                    for t in part.itid.threads() {
+                        debug_assert_eq!(
+                            mo.infos[t].as_ref().and_then(|i| i.result),
+                            lead_res,
+                            "unsound merge at pc {} ({})",
+                            mo.pc,
+                            mo.inst
+                        );
+                    }
+                }
+
+                let mut infos = [None; MAX_THREADS];
+                for t in part.itid.threads() {
+                    infos[t] = mo.infos[t];
+                }
+                self.uops.push(Uop {
+                    itid: part.itid,
+                    inst: mo.inst,
+                    class: mo.inst.class(),
+                    infos,
+                    deps,
+                    detect_mask: mo.detect_mask & part.itid.mask(),
+                    fetched_merged: mo.itid.is_merged(),
+                    issued: false,
+                    complete_at: None,
+                    committed_mask: 0,
+                    is_mem,
+                    accesses,
+                });
+                self.rob_live += 1;
+                if is_mem {
+                    self.lsq_live += 1;
+                }
+                for t in part.itid.threads() {
+                    if let Some(rd) = mo.inst.dest().filter(|r| !r.is_zero()) {
+                        self.rat[t][rd.index()] = Some(id);
+                        // In-flight writer tracking mirrors the RAT (the
+                        // paper's "mapping still valid" test): it counts
+                        // renamed-but-uncommitted writers.
+                        self.threads[t].writers[rd.index()] += 1;
+                    }
+                    self.threads[t].commit_queue.push_back(id);
+                    self.threads[t].inflight += 1;
+                    if matches!(mo.inst, Inst::St { .. }) {
+                        let addr = mo.infos[t]
+                            .as_ref()
+                            .and_then(|i| i.mem_addr)
+                            .expect("store has an address");
+                        self.store_lists[t].push((id, addr));
+                    }
+                }
+                self.iq.push(id);
+                created.push(id);
+            }
+
+            // Resolve fetch blocks that were waiting for this
+            // instruction to enter the window (mispredicted control).
+            if mo.blocks_mask != 0 {
+                for &id in &created {
+                    let part = self.uops[id].itid;
+                    for t in part.threads() {
+                        if mo.blocks_mask & (1 << t) != 0
+                            && self.threads[t].blocked_on == Some(PENDING_UOP)
+                        {
+                            self.threads[t].blocked_on = Some(id);
+                        }
+                    }
+                }
+            }
+
+            // LVIP rollback penalty: the owning threads' fetch stalls
+            // until the offending load completes, plus the redirect
+            // penalty (flush-and-refetch approximation).
+            if lvip_rollback {
+                let block_on = *created.last().expect("parts is non-empty");
+                for t in mo.itid.threads() {
+                    self.threads[t].blocked_on = Some(block_on);
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Fetch
+    // ----------------------------------------------------------------
+
+    fn fetch_stage(&mut self) -> Result<(), SimError> {
+        let n = self.threads.len();
+
+        // Unblock threads whose redirect has resolved.
+        for t in 0..n {
+            if let Some(b) = self.threads[t].blocked_on {
+                if b == PENDING_UOP {
+                    continue; // the blocking instruction has not dispatched yet
+                }
+                if let Some(c) = self.uops[b].complete_at.filter(|_| self.uops[b].issued) {
+                    let resume = c + self.cfg.redirect_penalty;
+                    if self.now >= resume {
+                        self.threads[t].blocked_on = None;
+                    } else {
+                        // Collapse into the cycle bound so fetchable() is
+                        // a single comparison.
+                        self.threads[t].blocked_until =
+                            self.threads[t].blocked_until.max(resume);
+                        self.threads[t].blocked_on = None;
+                    }
+                }
+            }
+        }
+
+        // Self-correct wrong-direction catch-ups: if the "behind" thread
+        // has fetched past the "ahead" thread's progress without their
+        // PCs meeting, the FHB hit pointed the wrong way (in loops both
+        // threads' targets appear in both FHBs); abort and let the next
+        // taken branch re-detect with the true direction.
+        if self.cfg.level.shared_fetch() {
+            for t in 0..n {
+                if let SyncMode::Catchup { ahead } = self.sync.mode(t) {
+                    if self.pair_progress_delta(t, ahead) > CATCHUP_OVERSHOOT_SLACK as i64 {
+                        self.sync.cancel_catchup(t);
+                    }
+                }
+            }
+        }
+
+        // Software-hint parking: expire stale parks.
+        if self.cfg.sync_policy == SyncPolicy::SoftwareHints {
+            for t in 0..n {
+                if let Some(since) = self.threads[t].hint_parked_since {
+                    let no_partner_possible = (0..n).all(|u| {
+                        u == t
+                            || self.threads[u].halted_fetch
+                            || self.sync.group_mask(t) & (1 << u) != 0
+                    });
+                    if self.now >= since + self.cfg.hint_wait_limit || no_partner_possible {
+                        self.threads[t].hint_skip_pc = Some(self.threads[t].machine.pc());
+                        self.threads[t].hint_parked_since = None;
+                    }
+                }
+            }
+        }
+
+        // Opportunistic remerge: identical PCs fetch together (Section
+        // 4.1's base rule). Only fetchable (or hint-parked), independent
+        // threads merge.
+        if self.cfg.level.shared_fetch() {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if self.sync.group_mask(a) & (1 << b) != 0 {
+                        continue; // already merged together
+                    }
+                    let ok = |s: &Self, t: usize| {
+                        s.thread_fetchable(t) || s.threads[t].hint_parked_since.is_some()
+                    };
+                    if !ok(self, a) || !ok(self, b) {
+                        continue;
+                    }
+                    let both_parked = self.threads[a].hint_parked_since.is_some()
+                        && self.threads[b].hint_parked_since.is_some();
+                    if self.threads[a].machine.pc() == self.threads[b].machine.pc()
+                        && (both_parked
+                            || self.pair_progress_delta(a, b).unsigned_abs()
+                                <= self.cfg.merge_alignment_slack)
+                    {
+                        // Record remerge distances for catching-up threads.
+                        for t in [a, b] {
+                            if !self.sync.is_merged(t) {
+                                let d = self.threads[t].branches_since_diverge;
+                                if d > 0 {
+                                    self.stats.record_remerge_distance(d);
+                                }
+                                self.threads[t].branches_since_diverge = 0;
+                            }
+                        }
+                        self.sync.merge(a, b);
+                        let union = self.sync.group_mask(a);
+                        self.snapshot_pairs(union);
+                    }
+                }
+            }
+        }
+
+        // Build fetch entities (merge groups / singleton threads).
+        let mut entities: Vec<(u8, usize)> = Vec::new(); // (mask, lead)
+        for t in 0..n {
+            let mask = if self.cfg.level.shared_fetch() {
+                self.sync.group_mask(t)
+            } else {
+                1 << t
+            };
+            if mask.trailing_zeros() as usize == t {
+                entities.push((mask, t));
+            }
+        }
+        // Priority: CATCHUP-boosted first, then ICOUNT, throttled last.
+        let now = self.now;
+        entities.sort_by_key(|&(mask, lead)| {
+            let members = Itid::from_mask(mask);
+            let boosted = self.cfg.level.shared_fetch() && self.sync.boosted(lead);
+            // A group is throttled when ANY member is being caught up to
+            // — otherwise a singleton chasing a thread inside a merged
+            // group can never close on it.
+            let throttled = self.cfg.level.shared_fetch()
+                && members.threads().any(|t| self.sync.throttled(t));
+            let pick = match self.cfg.fetch_policy {
+                FetchPolicy::ICount => {
+                    members.threads().map(|t| self.threads[t].inflight).sum()
+                }
+                FetchPolicy::RoundRobin => ((lead as u64) + now) % MAX_THREADS as u64,
+            };
+            (!boosted, throttled, pick, lead)
+        });
+
+        let mut slots = self.cfg.fetch_width;
+        let mut entities_fetched = 0;
+        for (mask, lead) in entities {
+            if slots == 0 || entities_fetched >= self.cfg.max_fetch_threads {
+                break;
+            }
+            // A mid-cycle CATCHUP merge may have restructured groups
+            // after this list was built; skip stale entries.
+            if self.cfg.level.shared_fetch() && self.sync.group_mask(lead) != mask {
+                continue;
+            }
+            let members = Itid::from_mask(mask);
+            if !members.threads().all(|t| self.thread_fetchable(t)) {
+                continue;
+            }
+            if members
+                .threads()
+                .any(|t| self.threads[t].hint_parked_since.is_some())
+            {
+                continue; // parked at a software remerge hint
+            }
+            // Software-hint mode: an unmerged entity arriving at a hint
+            // PC parks and waits for a partner (Thread Fusion's join).
+            if self.cfg.sync_policy == SyncPolicy::SoftwareHints
+                && self.cfg.level.shared_fetch()
+                && members.count() < self.threads.len()
+            {
+                let pc = self.threads[lead].machine.pc();
+                let skip = self.threads[lead].hint_skip_pc == Some(pc);
+                if !skip {
+                    self.threads[lead].hint_skip_pc = None;
+                }
+                let partner_exists = (0..self.threads.len()).any(|u| {
+                    !members.contains(u) && !self.threads[u].halted_fetch
+                });
+                // A partner already waiting at a *different* join means we
+                // should keep running toward it instead of deadlocking at
+                // our own.
+                let partner_waits_elsewhere = (0..self.threads.len()).any(|u| {
+                    !members.contains(u)
+                        && self.threads[u].hint_parked_since.is_some()
+                        && self.threads[u].machine.pc() != pc
+                });
+                if !skip
+                    && partner_exists
+                    && !partner_waits_elsewhere
+                    && self.cfg.remerge_hints.contains(&pc)
+                {
+                    for t in members.threads() {
+                        self.threads[t].hint_parked_since = Some(self.now);
+                    }
+                    continue;
+                }
+            }
+            // Throttled (being caught up to) entities receive only
+            // leftover fetch slots — they sort last, so when the
+            // catching-up thread saturates fetch they are fully parked.
+            // Parking matters beyond fairness: the merge must land on the
+            // same loop iteration in both threads, and a crawling "ahead"
+            // thread would drift across the lap boundary before the
+            // behind thread arrives, ratcheting a permanent one-iteration
+            // skew that destroys execute-identical merging.
+            let fetched = self.fetch_entity(members, slots)?;
+            if fetched > 0 {
+                slots -= fetched;
+                entities_fetched += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Signed progress difference of `t` relative to `u`, measured from
+    /// the pair's last common synchronization point: positive means `t`
+    /// has retired more instructions than `u` since they were last
+    /// aligned.
+    fn pair_progress_delta(&self, t: usize, u: usize) -> i64 {
+        let (snap_t, snap_u) = self.pair_sync[t][u];
+        let pt = (self.threads[t].machine.retired() - snap_t) as i64;
+        let pu = (self.threads[u].machine.retired() - snap_u) as i64;
+        pt - pu
+    }
+
+    /// Record that every thread pair within `mask` is synchronized right
+    /// now (they share a PC: a merge, or the instant of a divergence).
+    fn snapshot_pairs(&mut self, mask: u8) {
+        let members: Vec<usize> = Itid::from_mask(mask).threads().collect();
+        for &t in &members {
+            for &u in &members {
+                if t != u {
+                    self.pair_sync[t][u] = (
+                        self.threads[t].machine.retired(),
+                        self.threads[u].machine.retired(),
+                    );
+                }
+            }
+        }
+    }
+
+    fn thread_fetchable(&self, t: usize) -> bool {
+        let ts = &self.threads[t];
+        !ts.halted_fetch && ts.blocked_on.is_none() && ts.blocked_until <= self.now
+    }
+
+    /// Fetch up to `max_insts` instructions for one entity; returns the
+    /// number fetched.
+    fn fetch_entity(&mut self, members: Itid, max_insts: usize) -> Result<usize, SimError> {
+        if self.decode_queue.len() >= self.decode_capacity {
+            return Ok(0);
+        }
+        let lead = members.lead();
+        let pc0 = self.threads[lead].machine.pc();
+        debug_assert!(
+            members
+                .threads()
+                .all(|t| self.threads[t].machine.pc() == pc0),
+            "merged threads must share a PC"
+        );
+
+        // One instruction-cache access per fetch group per cycle. A miss
+        // blocks the whole entity until the line arrives.
+        let icache = self.hierarchy.access_inst(0, pc0, self.now);
+        if icache.completes_at > self.now + self.cfg.hierarchy.l1i.latency {
+            // Miss (or hit-under-fill): the whole entity waits for the
+            // line.
+            for t in members.threads() {
+                self.threads[t].blocked_until = icache.completes_at;
+            }
+            return Ok(1.min(max_insts)); // the slot was consumed by the attempt
+        }
+
+        let mut fetched = 0;
+        while fetched < max_insts && self.decode_queue.len() < self.decode_capacity {
+            let pc = self.threads[lead].machine.pc();
+            // Software-hint mode: stop the burst when it reaches a hint
+            // PC mid-cycle; the entity-start logic parks there next
+            // cycle.
+            if fetched > 0
+                && self.cfg.sync_policy == SyncPolicy::SoftwareHints
+                && members.count() < self.threads.len()
+                && self.threads[lead].hint_skip_pc != Some(pc)
+                && self.cfg.remerge_hints.contains(&pc)
+            {
+                break;
+            }
+            // Record fetch modes before stepping (what mode was each
+            // thread in when this instruction was fetched?).
+            let mut detect_mask = 0u8;
+            for t in members.threads() {
+                let mode = if self.cfg.level.shared_fetch() {
+                    self.sync.mode(t)
+                } else {
+                    SyncMode::Detect
+                };
+                if members.is_merged() {
+                    self.stats.fetch_modes.record(SyncMode::Merge);
+                } else {
+                    self.stats.fetch_modes.record(mode);
+                    detect_mask |= 1 << t;
+                }
+            }
+
+            // Functionally execute for every member (the oracle step).
+            let mut infos = [None; MAX_THREADS];
+            for t in members.threads() {
+                let ts = &mut self.threads[t];
+                let mem = &mut self.memories[ts.mem_idx];
+                let info = ts.machine.step(&self.program, mem)?;
+                infos[t] = Some(info);
+            }
+            let inst = infos[lead].expect("lead stepped").inst;
+            fetched += 1;
+            self.stats.macro_ops_fetched += 1;
+
+            self.decode_queue.push_back(MacroOp {
+                pc,
+                inst,
+                itid: members,
+                infos,
+                ready_at: self.now + self.cfg.decode_latency,
+                detect_mask,
+                blocks_mask: 0,
+            });
+
+            // Control-flow and halt handling decide whether fetch for
+            // this entity continues this cycle.
+            let flow = self.post_fetch_control(members, pc, inst, &infos);
+
+            // CATCHUP completion: the behind thread has reached the ahead
+            // thread's PC — merge now so the next cycle fetches them as a
+            // group (Section 4.1's remerge).
+            if self.cfg.level.shared_fetch() && !members.is_merged() {
+                if let SyncMode::Catchup { ahead } = self.sync.mode(lead) {
+                    if !self.threads[ahead].halted_fetch
+                        && self.threads[lead].machine.pc() == self.threads[ahead].machine.pc()
+                        && self.pair_progress_delta(lead, ahead).unsigned_abs()
+                            <= self.cfg.merge_alignment_slack
+                    {
+                        let d = self.threads[lead].branches_since_diverge;
+                        if d > 0 {
+                            self.stats.record_remerge_distance(d);
+                        }
+                        self.threads[lead].branches_since_diverge = 0;
+                        self.threads[ahead].branches_since_diverge = 0;
+                        if std::env::var_os("MMT_DEBUG_SYNC").is_some() {
+                            eprintln!("cyc {} MERGE t{lead}+t{ahead}", self.now);
+                        }
+                        self.sync.merge(lead, ahead);
+                        let union = self.sync.group_mask(lead);
+                        self.snapshot_pairs(union);
+                        break;
+                    }
+                }
+            }
+
+            match flow {
+                FetchFlow::Continue => continue,
+                FetchFlow::EndCycle => break,
+            }
+        }
+        Ok(fetched)
+    }
+
+    fn post_fetch_control(
+        &mut self,
+        members: Itid,
+        pc: u64,
+        inst: Inst,
+        infos: &[Option<StepInfo>; MAX_THREADS],
+    ) -> FetchFlow {
+        let lead = members.lead();
+        match inst {
+            Inst::Halt => {
+                for t in members.threads() {
+                    self.threads[t].halted_fetch = true;
+                    if self.cfg.level.shared_fetch() {
+                        self.sync.force_detect(t);
+                    }
+                }
+                FetchFlow::EndCycle
+            }
+            Inst::Br { .. } => {
+                self.stats.branches += members.count() as u64;
+                self.stats.energy.bpred_accesses += 1 + members.count() as u64;
+                let predicted_taken = self.bpred.predict(lead, pc);
+                for t in members.threads() {
+                    let taken = infos[t].expect("member stepped").taken.unwrap_or(false);
+                    self.bpred.update(t, pc, taken);
+                }
+                self.resolve_control(members, pc, infos, predicted_taken)
+            }
+            Inst::Jmp { .. } | Inst::Jal { .. } => {
+                if let Inst::Jal { .. } = inst {
+                    for t in members.threads() {
+                        self.rases[t].push(pc + 1);
+                    }
+                }
+                // Static target: always predicted correctly.
+                for t in members.threads() {
+                    let target = infos[t].expect("member stepped").next_pc;
+                    if self.cfg.level.shared_fetch() {
+                        self.record_taken_branch(t, target);
+                    }
+                }
+                match self.cfg.fetch_style {
+                    FetchStyle::Conventional => FetchFlow::EndCycle,
+                    FetchStyle::TraceCache => FetchFlow::Continue,
+                }
+            }
+            Inst::Jr { .. } => {
+                // Predict through the RAS; resolve per member.
+                let predictions: Vec<Option<u64>> = members
+                    .threads()
+                    .map(|t| self.rases[t].pop())
+                    .collect();
+                let lead_pred = predictions.first().copied().flatten();
+                let mut mispredicted = false;
+                let mut targets: Vec<(usize, u64)> = Vec::new();
+                for t in members.threads() {
+                    let target = infos[t].expect("member stepped").next_pc;
+                    targets.push((t, target));
+                }
+                let uniform = targets.windows(2).all(|w| w[0].1 == w[1].1);
+                if uniform {
+                    if lead_pred != Some(targets[0].1) {
+                        mispredicted = true;
+                    }
+                    for &(t, target) in &targets {
+                        if self.cfg.level.shared_fetch() {
+                            self.record_taken_branch(t, target);
+                        }
+                    }
+                    if mispredicted {
+                        self.stats.branch_mispredicts += members.count() as u64;
+                        self.block_members(members);
+                        FetchFlow::EndCycle
+                    } else {
+                        match self.cfg.fetch_style {
+                            FetchStyle::Conventional => FetchFlow::EndCycle,
+                            FetchStyle::TraceCache => FetchFlow::Continue,
+                        }
+                    }
+                } else {
+                    self.diverge_members(members, &targets, lead_pred);
+                    FetchFlow::EndCycle
+                }
+            }
+            _ => FetchFlow::Continue,
+        }
+    }
+
+    /// Shared branch-resolution logic for conditional branches.
+    fn resolve_control(
+        &mut self,
+        members: Itid,
+        pc: u64,
+        infos: &[Option<StepInfo>; MAX_THREADS],
+        predicted_taken: bool,
+    ) -> FetchFlow {
+        let targets: Vec<(usize, u64)> = members
+            .threads()
+            .map(|t| (t, infos[t].expect("member stepped").next_pc))
+            .collect();
+        let takens: Vec<(usize, bool)> = members
+            .threads()
+            .map(|t| (t, infos[t].expect("member stepped").taken == Some(true)))
+            .collect();
+        let uniform = takens.windows(2).all(|w| w[0].1 == w[1].1);
+
+        if uniform {
+            let taken = takens[0].1;
+            if predicted_taken != taken {
+                self.stats.branch_mispredicts += members.count() as u64;
+                self.block_members(members);
+                return FetchFlow::EndCycle;
+            }
+            if taken {
+                let target = targets[0].1;
+                // BTB: a first-encounter taken branch costs a fetch
+                // bubble even when the direction was right.
+                let btb_hit = self.btb.lookup(pc) == Some(target);
+                self.btb.update(pc, target);
+                for t in members.threads() {
+                    if self.cfg.level.shared_fetch() {
+                        self.record_taken_branch(t, target);
+                    }
+                }
+                if !btb_hit {
+                    return FetchFlow::EndCycle;
+                }
+                match self.cfg.fetch_style {
+                    FetchStyle::Conventional => FetchFlow::EndCycle,
+                    FetchStyle::TraceCache => FetchFlow::Continue,
+                }
+            } else {
+                FetchFlow::Continue
+            }
+        } else {
+            // Divergence: the merged group's threads disagree.
+            let predicted_next = if predicted_taken {
+                // All taken threads share one target for direct branches.
+                targets
+                    .iter()
+                    .zip(&takens)
+                    .find(|(_, &(_, tk))| tk)
+                    .map(|((_, pc), _)| *pc)
+                    .unwrap_or(pc + 1)
+            } else {
+                pc + 1
+            };
+            self.diverge_members_with_pred(members, &targets, predicted_next, Some(pc + 1));
+            FetchFlow::EndCycle
+        }
+    }
+
+    /// Record a taken control transfer in the FHB machinery and track
+    /// remerge-distance counters.
+    fn record_taken_branch(&mut self, t: usize, target: u64) {
+        if self.sync.mode(t) != SyncMode::Merge {
+            self.threads[t].branches_since_diverge += 1;
+        }
+        if self.cfg.sync_policy == SyncPolicy::SoftwareHints {
+            // Thread Fusion-style: no FHB recording or CAM search; the
+            // remerge points come from software.
+            return;
+        }
+        let event = self.sync.record_taken(t, target);
+        // An FHB hit says the other thread passed this point, but inside
+        // a loop both threads' targets live in both FHBs, so the hit
+        // alone cannot tell who is behind. Boosting the *ahead* thread
+        // would let it sprint away while the truly-behind thread is
+        // throttled; cancel such wrong-direction catch-ups using the
+        // per-thread retirement counters.
+        if let mmt_frontend::SyncEvent::CatchupEntered { behind, ahead } = event {
+            if std::env::var_os("MMT_DEBUG_SYNC").is_some() {
+                eprintln!(
+                    "cyc {} CATCHUP t{behind} -> t{ahead} (delta {}) groups {:?}",
+                    self.now,
+                    self.pair_progress_delta(behind, ahead),
+                    (0..self.threads.len()).map(|t| self.sync.group_mask(t)).collect::<Vec<_>>()
+                );
+            }
+            if self.pair_progress_delta(behind, ahead) + CATCHUP_ENTRY_SLACK as i64 > 0 {
+                // Not convincingly behind: in a loop both threads'
+                // targets sit in both FHBs, so the hit alone cannot pick
+                // the direction; progress-since-last-sync can.
+                self.sync.cancel_catchup(behind);
+            }
+        }
+    }
+
+    /// Block every member's fetch until the just-fetched control
+    /// instruction (the newest decode-queue entry) executes, plus the
+    /// redirect penalty — the mispredict stall.
+    fn block_members(&mut self, members: Itid) {
+        for t in members.threads() {
+            self.threads[t].blocked_on = Some(PENDING_UOP);
+        }
+        self.decode_queue
+            .back_mut()
+            .expect("blocking instruction was just pushed")
+            .blocks_mask |= members.mask();
+    }
+
+    fn diverge_members(&mut self, members: Itid, targets: &[(usize, u64)], lead_pred: Option<u64>) {
+        let predicted_next = lead_pred.unwrap_or(targets[0].1);
+        self.diverge_members_with_pred(members, targets, predicted_next, None);
+    }
+
+    /// Split a merged group whose members resolved a control transfer
+    /// differently. `fallthrough` is `Some(pc + 1)` for conditional
+    /// branches (so not-taken edges are not recorded in the FHB).
+    fn diverge_members_with_pred(
+        &mut self,
+        members: Itid,
+        targets: &[(usize, u64)],
+        predicted_next: u64,
+        fallthrough: Option<u64>,
+    ) {
+        // Partition members by their actual next PC.
+        let mut parts: Vec<(u64, u8)> = Vec::new();
+        for &(t, next) in targets {
+            match parts.iter_mut().find(|(pc, _)| *pc == next) {
+                Some((_, mask)) => *mask |= 1 << t,
+                None => parts.push((next, 1 << t)),
+            }
+        }
+        if std::env::var_os("MMT_DEBUG_DIV").is_some() {
+            eprintln!("cyc {} DIVERGE pc-parts {:?}", self.now, parts);
+        }
+        debug_assert!(parts.len() >= 2);
+        debug_assert_eq!(
+            parts.iter().fold(0u8, |a, &(_, m)| a | m),
+            members.mask(),
+            "divergence parts must partition the group"
+        );
+        if self.cfg.level.shared_fetch() {
+            let masks: Vec<u8> = parts.iter().map(|&(_, m)| m).collect();
+            self.sync.diverge(&masks);
+        }
+        let mut blocked_mask = 0u8;
+        self.snapshot_pairs(members.mask());
+        for &(next, mask) in &parts {
+            let part = Itid::from_mask(mask);
+            for t in part.threads() {
+                self.threads[t].branches_since_diverge = 0;
+                if next != predicted_next {
+                    self.stats.branch_mispredicts += 1;
+                    blocked_mask |= 1 << t;
+                }
+            }
+            // Taken diverging edges enter each thread's (fresh) FHB so
+            // the other side can find the remerge point.
+            if self.cfg.level.shared_fetch() && Some(next) != fallthrough {
+                for t in part.threads() {
+                    self.record_taken_branch(t, next);
+                }
+            }
+        }
+        if blocked_mask != 0 {
+            self.block_members(Itid::from_mask(blocked_mask));
+        }
+    }
+
+    /// Read-only access to the accumulated statistics (useful for tests
+    /// that drive the simulator manually).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+}
+
+enum FetchFlow {
+    Continue,
+    EndCycle,
+}
+
+/// Cycle range for the per-cycle debug trace, parsed once from
+/// `MMT_TRACE=start..end` (a developer aid; absent in normal runs).
+fn trace_range() -> Option<std::ops::Range<u64>> {
+    let v = std::env::var("MMT_TRACE").ok()?;
+    let (a, b) = v.split_once("..")?;
+    Some(a.parse().ok()?..b.parse().ok()?)
+}

@@ -1,0 +1,309 @@
+//! Register Sharing Table (paper Section 4.2.1).
+//!
+//! One entry per architected register; each entry holds one bit per
+//! potential thread pair (6 pairs for 4 threads). Bit `(t,u)` set means
+//! threads `t` and `u` currently map that architected register to the
+//! same physical register (or the registers are known to hold identical
+//! values, via register merging). The instruction splitter reads these
+//! bits to decide how far a fetch-identical instruction can stay merged.
+//!
+//! Each pair bit also carries a provenance flag recording whether it was
+//! last set by the commit-time register-merging hardware — that is how
+//! the simulator attributes instructions to the paper's
+//! "Exe-Identical+RegMerge" category in Figure 5(b).
+
+use crate::itid::Itid;
+use mmt_isa::reg::{Reg, NUM_REGS};
+
+/// Number of unordered thread pairs for 4 hardware threads.
+pub const NUM_PAIRS: usize = 6;
+
+/// Dense index of the unordered pair `(t, u)`, `t != u`.
+///
+/// # Panics
+///
+/// Panics if `t == u` or either exceeds [`mmt_isa::MAX_THREADS`].
+#[inline]
+pub fn pair_index(t: usize, u: usize) -> usize {
+    assert!(t != u, "a thread does not pair with itself");
+    let (a, b) = if t < u { (t, u) } else { (u, t) };
+    assert!(b < mmt_isa::MAX_THREADS);
+    // Pairs in order: (0,1) (0,2) (0,3) (1,2) (1,3) (2,3).
+    match (a, b) {
+        (0, 1) => 0,
+        (0, 2) => 1,
+        (0, 3) => 2,
+        (1, 2) => 3,
+        (1, 3) => 4,
+        (2, 3) => 5,
+        _ => unreachable!(),
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    /// Pair-sharing bits.
+    shared: u8,
+    /// Which of those bits were last set by register-merging hardware.
+    by_merge: u8,
+}
+
+/// The Register Sharing Table.
+///
+/// # Examples
+///
+/// ```
+/// use mmt_sim::{Itid, rst::RegSharingTable};
+/// use mmt_isa::Reg;
+/// let mut rst = RegSharingTable::new_all_shared();
+/// // Threads 0 and 1 produced different values in r5:
+/// rst.update_dest(Reg::R5, Itid::from_mask(0b11), &[Itid::single(0), Itid::single(1)]);
+/// assert!(!rst.pair_shared(Reg::R5, 0, 1));
+/// assert!(rst.pair_shared(Reg::R1, 0, 1)); // untouched registers still shared
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegSharingTable {
+    entries: [Entry; NUM_REGS],
+    updates: u64,
+    merge_sets: u64,
+}
+
+impl RegSharingTable {
+    /// All registers shared between all threads — the start-of-program
+    /// state for SPMD workloads (Section 4.2.6; register files start
+    /// identical, divergence enters through `tid`, loads, and divergent
+    /// paths).
+    pub fn new_all_shared() -> RegSharingTable {
+        RegSharingTable {
+            entries: [Entry {
+                shared: (1 << NUM_PAIRS) - 1,
+                by_merge: 0,
+            }; NUM_REGS],
+            updates: 0,
+            merge_sets: 0,
+        }
+    }
+
+    /// Nothing shared (useful for tests and for the MMT-F configuration,
+    /// which always splits).
+    pub fn new_none_shared() -> RegSharingTable {
+        RegSharingTable {
+            entries: [Entry::default(); NUM_REGS],
+            updates: 0,
+            merge_sets: 0,
+        }
+    }
+
+    /// Whether threads `t` and `u` share register `r`. The zero register
+    /// is immutably shared (it reads 0 in every thread).
+    #[inline]
+    pub fn pair_shared(&self, r: Reg, t: usize, u: usize) -> bool {
+        if r.is_zero() {
+            return true;
+        }
+        self.entries[r.index()].shared & (1 << pair_index(t, u)) != 0
+    }
+
+    /// Whether the sharing of `r` between `t` and `u` was established by
+    /// the register-merging hardware.
+    #[inline]
+    pub fn pair_by_merge(&self, r: Reg, t: usize, u: usize) -> bool {
+        if r.is_zero() {
+            return false;
+        }
+        let idx = 1 << pair_index(t, u);
+        let e = &self.entries[r.index()];
+        e.shared & idx != 0 && e.by_merge & idx != 0
+    }
+
+    /// Whether *all* pairs within `itid` share register `r`.
+    pub fn group_shared(&self, r: Reg, itid: Itid) -> bool {
+        itid.pairs().all(|(t, u)| self.pair_shared(r, t, u))
+    }
+
+    /// Destination update (Section 4.2.3): for every pair with at least
+    /// one member in the fetched `itid`, the bit becomes 1 iff some
+    /// resulting split ITID contains both threads, else 0. Pairs entirely
+    /// outside the fetched ITID are untouched.
+    pub fn update_dest(&mut self, r: Reg, itid: Itid, resulting: &[Itid]) {
+        if r.is_zero() {
+            return;
+        }
+        self.updates += 1;
+        let e = &mut self.entries[r.index()];
+        for t in 0..mmt_isa::MAX_THREADS {
+            for u in (t + 1)..mmt_isa::MAX_THREADS {
+                if !itid.contains(t) && !itid.contains(u) {
+                    continue;
+                }
+                let bit = 1 << pair_index(t, u);
+                let together = resulting.iter().any(|s| s.contains(t) && s.contains(u));
+                if together {
+                    e.shared |= bit;
+                } else {
+                    e.shared &= !bit;
+                }
+                e.by_merge &= !bit; // provenance: set by rename, not merge hw
+            }
+        }
+    }
+
+    /// Register-merging hardware found identical values in `r` for `t`
+    /// and `u` (Section 4.2.7): set the pair bit with merge provenance.
+    pub fn set_merged(&mut self, r: Reg, t: usize, u: usize) {
+        if r.is_zero() {
+            return;
+        }
+        let bit = 1 << pair_index(t, u);
+        let e = &mut self.entries[r.index()];
+        e.shared |= bit;
+        e.by_merge |= bit;
+        self.merge_sets += 1;
+    }
+
+    /// Number of destination updates performed (energy accounting: the
+    /// RST update logic runs for every renamed instruction).
+    pub fn update_count(&self) -> u64 {
+        self.updates
+    }
+
+    /// Number of pair bits set by register merging.
+    pub fn merge_set_count(&self) -> u64 {
+        self.merge_sets
+    }
+}
+
+impl Default for RegSharingTable {
+    fn default() -> Self {
+        RegSharingTable::new_all_shared()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_index_is_a_bijection() {
+        let mut seen = [false; NUM_PAIRS];
+        for t in 0..4 {
+            for u in (t + 1)..4 {
+                let i = pair_index(t, u);
+                assert!(!seen[i], "pair ({t},{u}) collides");
+                seen[i] = true;
+                assert_eq!(pair_index(u, t), i, "order-insensitive");
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_pair_panics() {
+        let _ = pair_index(2, 2);
+    }
+
+    #[test]
+    fn initial_state_all_shared() {
+        let rst = RegSharingTable::new_all_shared();
+        for r in Reg::all() {
+            assert!(rst.group_shared(r, Itid::all(4)));
+        }
+        let none = RegSharingTable::new_none_shared();
+        assert!(!none.pair_shared(Reg::R1, 0, 1));
+        assert!(none.pair_shared(Reg::R0, 0, 1), "r0 always shared");
+    }
+
+    #[test]
+    fn full_split_clears_all_pairs_in_itid() {
+        let mut rst = RegSharingTable::new_all_shared();
+        let itid = Itid::all(4);
+        let split: Vec<Itid> = (0..4).map(Itid::single).collect();
+        rst.update_dest(Reg::R3, itid, &split);
+        for t in 0..4 {
+            for u in (t + 1)..4 {
+                assert!(!rst.pair_shared(Reg::R3, t, u));
+            }
+        }
+        assert!(rst.pair_shared(Reg::R4, 0, 1), "other regs untouched");
+    }
+
+    #[test]
+    fn partial_split_keeps_subgroup_bits() {
+        let mut rst = RegSharingTable::new_none_shared();
+        // 4-thread fetch splits into {0,1} and {2,3}.
+        rst.update_dest(
+            Reg::R7,
+            Itid::all(4),
+            &[Itid::from_mask(0b0011), Itid::from_mask(0b1100)],
+        );
+        assert!(rst.pair_shared(Reg::R7, 0, 1));
+        assert!(rst.pair_shared(Reg::R7, 2, 3));
+        assert!(!rst.pair_shared(Reg::R7, 0, 2));
+        assert!(!rst.pair_shared(Reg::R7, 1, 3));
+    }
+
+    #[test]
+    fn pairs_outside_itid_untouched() {
+        let mut rst = RegSharingTable::new_all_shared();
+        // Only threads 0,1 fetched; pair (2,3) must keep its bit.
+        rst.update_dest(
+            Reg::R2,
+            Itid::from_mask(0b0011),
+            &[Itid::single(0), Itid::single(1)],
+        );
+        assert!(!rst.pair_shared(Reg::R2, 0, 1));
+        assert!(rst.pair_shared(Reg::R2, 2, 3), "(2,3) untouched");
+        // Mixed pair (one in, one out) is cleared per Section 4.2.3.
+        assert!(!rst.pair_shared(Reg::R2, 0, 2));
+        assert!(!rst.pair_shared(Reg::R2, 1, 3));
+    }
+
+    #[test]
+    fn singleton_write_clears_pairs_involving_writer() {
+        let mut rst = RegSharingTable::new_all_shared();
+        // A divergent-path instruction in thread 1 writes r9.
+        let one = Itid::single(1);
+        rst.update_dest(Reg::R9, one, &[one]);
+        assert!(!rst.pair_shared(Reg::R9, 0, 1));
+        assert!(!rst.pair_shared(Reg::R9, 1, 2));
+        assert!(!rst.pair_shared(Reg::R9, 1, 3));
+        assert!(rst.pair_shared(Reg::R9, 0, 2), "non-writer pairs keep state");
+    }
+
+    #[test]
+    fn zero_register_is_immutably_shared() {
+        let mut rst = RegSharingTable::new_all_shared();
+        rst.update_dest(Reg::R0, Itid::single(0), &[Itid::single(0)]);
+        assert!(rst.pair_shared(Reg::R0, 0, 1));
+        rst.set_merged(Reg::R0, 0, 1);
+        assert!(!rst.pair_by_merge(Reg::R0, 0, 1));
+    }
+
+    #[test]
+    fn merge_provenance_tracked_and_cleared() {
+        let mut rst = RegSharingTable::new_none_shared();
+        rst.set_merged(Reg::R5, 0, 1);
+        assert!(rst.pair_shared(Reg::R5, 0, 1));
+        assert!(rst.pair_by_merge(Reg::R5, 0, 1));
+        assert_eq!(rst.merge_set_count(), 1);
+        // A subsequent rename-time update resets provenance.
+        let both = Itid::from_mask(0b0011);
+        rst.update_dest(Reg::R5, both, &[both]);
+        assert!(rst.pair_shared(Reg::R5, 0, 1));
+        assert!(!rst.pair_by_merge(Reg::R5, 0, 1));
+    }
+
+    #[test]
+    fn group_shared_requires_every_pair() {
+        let mut rst = RegSharingTable::new_all_shared();
+        rst.update_dest(
+            Reg::R6,
+            Itid::all(4),
+            &[Itid::from_mask(0b0111), Itid::single(3)],
+        );
+        assert!(rst.group_shared(Reg::R6, Itid::from_mask(0b0111)));
+        assert!(!rst.group_shared(Reg::R6, Itid::all(4)));
+        assert!(rst.group_shared(Reg::R6, Itid::single(3)), "singleton trivially shared");
+    }
+}

@@ -1,0 +1,503 @@
+//! The instruction splitter — the paper's extra pipeline stage between
+//! decode and register renaming (Section 4.2.2).
+//!
+//! Given a fetch-identical instruction with ITID `M`, the splitter
+//! produces the **minimal** set of 1–4 instructions that execute
+//! correctly:
+//!
+//! * The *filter* masks the Register Sharing Table's pair bits down to
+//!   pairs inside `M`, AND-ing across every source register.
+//! * The *chooser* repeatedly picks the largest thread subset whose pairs
+//!   are all shared, guaranteeing a minimal partition.
+//!
+//! Special cases implement Table 2's decision logic: multi-threaded loads
+//! merge like ALU ops (shared memory returns one value); multi-execution
+//! loads additionally consult the [`Lvip`]; multi-execution stores keep a
+//! single instruction but the LSQ performs the accesses separately;
+//! `tid` always splits (its result is different in every thread by
+//! definition).
+
+use crate::config::MmtLevel;
+use crate::itid::Itid;
+use crate::lvip::Lvip;
+use crate::rst::RegSharingTable;
+use mmt_isa::{Inst, MemSharing};
+
+/// One resulting instruction of a split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitPart {
+    /// Threads this instruction executes for.
+    pub itid: Itid,
+    /// True for a merged multi-execution load kept whole on an LVIP
+    /// "values identical" prediction — the LSQ must perform the loads
+    /// separately and verify (Section 4.2.5).
+    pub lvip_speculative: bool,
+}
+
+/// The splitter's decision for one fetched instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitOutcome {
+    /// The minimal partition of the fetched ITID (1–4 parts).
+    pub parts: Vec<SplitPart>,
+    /// True when some merged part relied on a sharing bit established by
+    /// the register-merging hardware (feeds Figure 5(b)'s
+    /// "Exe-Identical+RegMerge" category).
+    pub regmerge_assisted: bool,
+}
+
+impl SplitOutcome {
+    fn single(itid: Itid) -> SplitOutcome {
+        SplitOutcome {
+            parts: vec![SplitPart {
+                itid,
+                lvip_speculative: false,
+            }],
+            regmerge_assisted: false,
+        }
+    }
+
+    fn full_split(itid: Itid) -> SplitOutcome {
+        SplitOutcome {
+            parts: itid
+                .threads()
+                .map(|t| SplitPart {
+                    itid: Itid::single(t),
+                    lvip_speculative: false,
+                })
+                .collect(),
+            regmerge_assisted: false,
+        }
+    }
+
+    /// The resulting ITIDs (for RST destination updates).
+    pub fn itids(&self) -> Vec<Itid> {
+        self.parts.iter().map(|p| p.itid).collect()
+    }
+
+    /// Whether any part remains merged across threads.
+    pub fn any_merged(&self) -> bool {
+        self.parts.iter().any(|p| p.itid.is_merged())
+    }
+}
+
+/// Split a fetched instruction into its minimal execution set.
+///
+/// `pc` indexes the LVIP for multi-execution loads; `sharing` is the
+/// workload's memory model; `level` gates shared execution (MMT-F always
+/// splits merged instructions).
+pub fn split_instruction_at(
+    pc: u64,
+    inst: Inst,
+    itid: Itid,
+    sharing: MemSharing,
+    level: MmtLevel,
+    rst: &RegSharingTable,
+    lvip: &mut Lvip,
+) -> SplitOutcome {
+    if !itid.is_merged() {
+        return SplitOutcome::single(itid);
+    }
+    if !level.shared_execute() {
+        return SplitOutcome::full_split(itid);
+    }
+    if matches!(inst, Inst::Tid { .. }) {
+        return SplitOutcome::full_split(itid);
+    }
+
+    let sources = inst.sources();
+    let mut remaining = itid.mask();
+    let mut parts = Vec::new();
+    let mut regmerge_assisted = false;
+    while remaining != 0 {
+        let subset = choose_largest_shared_subset(remaining, &sources, rst);
+        let part_itid = Itid::from_mask(subset);
+        if part_itid.is_merged() {
+            regmerge_assisted |= part_itid
+                .pairs()
+                .any(|(t, u)| sources.iter().any(|r| rst.pair_by_merge(r, t, u)));
+        }
+        parts.push(SplitPart {
+            itid: part_itid,
+            lvip_speculative: false,
+        });
+        remaining &= !subset;
+    }
+
+    if matches!(inst, Inst::Ld { .. }) && sharing == MemSharing::PerThread {
+        let mut adjusted = Vec::with_capacity(parts.len());
+        for part in parts {
+            if part.itid.is_merged() {
+                if lvip.predict_identical(pc) {
+                    adjusted.push(SplitPart {
+                        itid: part.itid,
+                        lvip_speculative: true,
+                    });
+                } else {
+                    adjusted.extend(part.itid.threads().map(|t| SplitPart {
+                        itid: Itid::single(t),
+                        lvip_speculative: false,
+                    }));
+                }
+            } else {
+                adjusted.push(part);
+            }
+        }
+        parts = adjusted;
+    }
+
+    SplitOutcome {
+        parts,
+        regmerge_assisted,
+    }
+}
+
+/// The chooser: the largest subset of `remaining` (ties broken toward the
+/// lower mask, deterministically) in which every thread pair shares every
+/// source register.
+fn choose_largest_shared_subset(
+    remaining: u8,
+    sources: &mmt_isa::inst::Sources,
+    rst: &RegSharingTable,
+) -> u8 {
+    let mut best: u8 = 0;
+    let mut best_count = 0;
+    // Enumerate non-empty subsets of `remaining`.
+    let mut sub = remaining;
+    loop {
+        let count = sub.count_ones();
+        let better = count > best_count || (count == best_count && sub < best);
+        if better && subset_fully_shared(sub, sources, rst) {
+            best = sub;
+            best_count = count;
+        }
+        if sub == 0 {
+            break;
+        }
+        sub = (sub - 1) & remaining;
+    }
+    if best == 0 {
+        // No multi-thread subset shares; peel the lowest thread.
+        1 << remaining.trailing_zeros()
+    } else {
+        best
+    }
+}
+
+fn subset_fully_shared(
+    mask: u8,
+    sources: &mmt_isa::inst::Sources,
+    rst: &RegSharingTable,
+) -> bool {
+    if mask.count_ones() < 2 {
+        return mask != 0;
+    }
+    let itid = Itid::from_mask(mask);
+    itid.pairs()
+        .all(|(t, u)| sources.iter().all(|r| rst.pair_shared(r, t, u)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_isa::{AluOp, Reg};
+
+    fn alu() -> Inst {
+        Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg::R3,
+            rs1: Reg::R1,
+            rs2: Reg::R2,
+        }
+    }
+
+    fn load() -> Inst {
+        Inst::Ld {
+            rd: Reg::R3,
+            base: Reg::R1,
+            off: 0,
+        }
+    }
+
+    fn store() -> Inst {
+        Inst::St {
+            src: Reg::R2,
+            base: Reg::R1,
+            off: 0,
+        }
+    }
+
+    fn split_at(
+        inst: Inst,
+        itid: Itid,
+        sharing: MemSharing,
+        level: MmtLevel,
+        rst: &RegSharingTable,
+        lvip: &mut Lvip,
+    ) -> SplitOutcome {
+        split_instruction_at(100, inst, itid, sharing, level, rst, lvip)
+    }
+
+    #[test]
+    fn singleton_passes_through() {
+        let rst = RegSharingTable::new_all_shared();
+        let mut lvip = Lvip::new(16);
+        let out = split_at(
+            alu(),
+            Itid::single(2),
+            MemSharing::Shared,
+            MmtLevel::Fxr,
+            &rst,
+            &mut lvip,
+        );
+        assert_eq!(out.parts.len(), 1);
+        assert_eq!(out.parts[0].itid, Itid::single(2));
+        assert!(!out.any_merged());
+    }
+
+    #[test]
+    fn mmt_f_always_splits() {
+        let rst = RegSharingTable::new_all_shared();
+        let mut lvip = Lvip::new(16);
+        let out = split_at(
+            alu(),
+            Itid::all(4),
+            MemSharing::Shared,
+            MmtLevel::F,
+            &rst,
+            &mut lvip,
+        );
+        assert_eq!(out.parts.len(), 4);
+        assert!(out.parts.iter().all(|p| !p.itid.is_merged()));
+    }
+
+    #[test]
+    fn fully_shared_alu_stays_merged() {
+        let rst = RegSharingTable::new_all_shared();
+        let mut lvip = Lvip::new(16);
+        let out = split_at(
+            alu(),
+            Itid::all(4),
+            MemSharing::Shared,
+            MmtLevel::Fx,
+            &rst,
+            &mut lvip,
+        );
+        assert_eq!(out.parts.len(), 1);
+        assert_eq!(out.parts[0].itid, Itid::all(4));
+    }
+
+    #[test]
+    fn paper_example_itid_0110() {
+        // Section 4.2.2's example: ITID 0110 either stays merged or
+        // splits into 0100 and 0010.
+        let mut rst = RegSharingTable::new_all_shared();
+        let mut lvip = Lvip::new(16);
+        let itid = Itid::from_mask(0b0110);
+        let merged = split_at(alu(), itid, MemSharing::Shared, MmtLevel::Fx, &rst, &mut lvip);
+        assert_eq!(merged.itids(), vec![itid]);
+
+        // Now make r1 differ between threads 1 and 2.
+        rst.update_dest(Reg::R1, itid, &[Itid::single(1), Itid::single(2)]);
+        let split = split_at(alu(), itid, MemSharing::Shared, MmtLevel::Fx, &rst, &mut lvip);
+        assert_eq!(
+            split.itids(),
+            vec![Itid::from_mask(0b0010), Itid::from_mask(0b0100)]
+        );
+    }
+
+    #[test]
+    fn four_way_worst_case_splits_to_four() {
+        // "an incoming thread with ITID 1111 turns into four instructions
+        // with ITIDs 1000, 0100, 0010, and 0001" (Section 4.2).
+        let mut rst = RegSharingTable::new_all_shared();
+        let all = Itid::all(4);
+        rst.update_dest(Reg::R1, all, [0, 1, 2, 3].map(Itid::single).to_vec().as_slice());
+        let mut lvip = Lvip::new(16);
+        let out = split_at(alu(), all, MemSharing::Shared, MmtLevel::Fxr, &rst, &mut lvip);
+        assert_eq!(out.parts.len(), 4);
+        let mut covered = 0u8;
+        for p in &out.parts {
+            assert_eq!(p.itid.count(), 1);
+            covered |= p.itid.mask();
+        }
+        assert_eq!(covered, 0b1111, "parts partition the ITID");
+    }
+
+    #[test]
+    fn chooser_picks_largest_subgroup() {
+        // Threads {0,1,2} share everything; thread 3 differs in r2.
+        let mut rst = RegSharingTable::new_all_shared();
+        let all = Itid::all(4);
+        rst.update_dest(Reg::R2, all, &[Itid::from_mask(0b0111), Itid::single(3)]);
+        let mut lvip = Lvip::new(16);
+        let out = split_at(alu(), all, MemSharing::Shared, MmtLevel::Fx, &rst, &mut lvip);
+        assert_eq!(
+            out.itids(),
+            vec![Itid::from_mask(0b0111), Itid::single(3)],
+            "minimal set: one triple + one singleton"
+        );
+    }
+
+    #[test]
+    fn pairwise_but_not_transitive_sharing_still_partitions() {
+        // Construct bits where (0,1) and (1,2) share r1 but (0,2) do not:
+        // the chooser must not merge {0,1,2}; the minimal partition is
+        // {{0,1},{2}} or {{1,2},{0}} — both size 2; determinism picks one.
+        let mut rst = RegSharingTable::new_none_shared();
+        rst.set_merged(Reg::R1, 0, 1);
+        rst.set_merged(Reg::R1, 1, 2);
+        rst.set_merged(Reg::R2, 0, 1);
+        rst.set_merged(Reg::R2, 1, 2);
+        let itid = Itid::from_mask(0b0111);
+        let mut lvip = Lvip::new(16);
+        let out = split_at(alu(), itid, MemSharing::Shared, MmtLevel::Fx, &rst, &mut lvip);
+        assert_eq!(out.parts.len(), 2);
+        let covered: u8 = out.parts.iter().map(|p| p.itid.mask()).fold(0, |a, b| a | b);
+        assert_eq!(covered, 0b0111);
+        // Deterministic tie-break: lowest mask among largest subsets.
+        assert_eq!(out.parts[0].itid.mask(), 0b0011);
+    }
+
+    #[test]
+    fn tid_always_splits_fully() {
+        let rst = RegSharingTable::new_all_shared();
+        let mut lvip = Lvip::new(16);
+        let out = split_at(
+            Inst::Tid { rd: Reg::R1 },
+            Itid::all(4),
+            MemSharing::Shared,
+            MmtLevel::Fxr,
+            &rst,
+            &mut lvip,
+        );
+        assert_eq!(out.parts.len(), 4);
+    }
+
+    #[test]
+    fn mt_load_merges_like_alu() {
+        // Table 2: Load MT X-id => MERGE (no LVIP involved).
+        let rst = RegSharingTable::new_all_shared();
+        let mut lvip = Lvip::new(16);
+        let out = split_at(
+            load(),
+            Itid::all(2),
+            MemSharing::Shared,
+            MmtLevel::Fx,
+            &rst,
+            &mut lvip,
+        );
+        assert_eq!(out.parts.len(), 1);
+        assert!(!out.parts[0].lvip_speculative);
+        assert_eq!(lvip.lookup_count(), 0);
+    }
+
+    #[test]
+    fn me_load_checks_lvip_optimistic() {
+        // Table 2: Load ME X-id => Check LVIP.
+        let rst = RegSharingTable::new_all_shared();
+        let mut lvip = Lvip::new(16);
+        let out = split_at(
+            load(),
+            Itid::all(2),
+            MemSharing::PerThread,
+            MmtLevel::Fx,
+            &rst,
+            &mut lvip,
+        );
+        assert_eq!(out.parts.len(), 1);
+        assert!(out.parts[0].lvip_speculative, "merged pending verification");
+        assert_eq!(lvip.lookup_count(), 1);
+    }
+
+    #[test]
+    fn me_load_splits_after_learned_mismatch() {
+        let rst = RegSharingTable::new_all_shared();
+        let mut lvip = Lvip::new(16);
+        lvip.record_mismatch(100); // same PC used by split_at()
+        let out = split_at(
+            load(),
+            Itid::all(2),
+            MemSharing::PerThread,
+            MmtLevel::Fx,
+            &rst,
+            &mut lvip,
+        );
+        assert_eq!(out.parts.len(), 2);
+        assert!(out.parts.iter().all(|p| !p.lvip_speculative));
+    }
+
+    #[test]
+    fn me_store_keeps_single_instruction() {
+        // Table 2: Store ME => SPLIT in the LSQ; the instruction itself
+        // remains one entry (the pipeline performs per-thread accesses).
+        let rst = RegSharingTable::new_all_shared();
+        let mut lvip = Lvip::new(16);
+        let out = split_at(
+            store(),
+            Itid::all(2),
+            MemSharing::PerThread,
+            MmtLevel::Fx,
+            &rst,
+            &mut lvip,
+        );
+        assert_eq!(out.parts.len(), 1);
+        assert!(out.parts[0].itid.is_merged());
+    }
+
+    #[test]
+    fn regmerge_provenance_propagates() {
+        let mut rst = RegSharingTable::new_none_shared();
+        rst.set_merged(Reg::R1, 0, 1);
+        rst.set_merged(Reg::R2, 0, 1);
+        let mut lvip = Lvip::new(16);
+        let out = split_at(
+            alu(),
+            Itid::all(2),
+            MemSharing::Shared,
+            MmtLevel::Fxr,
+            &rst,
+            &mut lvip,
+        );
+        assert_eq!(out.parts.len(), 1);
+        assert!(out.regmerge_assisted);
+    }
+
+    #[test]
+    fn parts_always_partition_itid() {
+        // Exhaustive: every RST pattern on 2 sources, every ITID.
+        for itid_mask in 1u8..16 {
+            let itid = Itid::from_mask(itid_mask);
+            for pattern in 0u8..64 {
+                let mut rst = RegSharingTable::new_none_shared();
+                for t in 0..4 {
+                    for u in (t + 1)..4 {
+                        if pattern & (1 << crate::rst::pair_index(t, u)) != 0 {
+                            rst.set_merged(Reg::R1, t, u);
+                            rst.set_merged(Reg::R2, t, u);
+                        }
+                    }
+                }
+                let mut lvip = Lvip::new(16);
+                let out = split_at(
+                    alu(),
+                    itid,
+                    MemSharing::Shared,
+                    MmtLevel::Fx,
+                    &rst,
+                    &mut lvip,
+                );
+                let mut covered = 0u8;
+                for p in &out.parts {
+                    assert_eq!(covered & p.itid.mask(), 0, "no overlap");
+                    covered |= p.itid.mask();
+                    // Every merged part must be genuinely all-shared.
+                    for (t, u) in p.itid.pairs() {
+                        assert!(rst.pair_shared(Reg::R1, t, u));
+                        assert!(rst.pair_shared(Reg::R2, t, u));
+                    }
+                }
+                assert_eq!(covered, itid_mask, "partition covers the ITID");
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Run statistics — every counter needed to regenerate the paper's
+//! figures (speedups, instruction-identity breakdowns, fetch-mode
+//! occupancy, remerge distances, and the event counts the energy model
+//! consumes).
+
+use mmt_frontend::SyncMode;
+use mmt_mem::CacheStats;
+
+/// Histogram buckets for "taken branches until remerge" (Section 6.3
+/// reports 90% of remerges within 512 branches; Figure 2 uses
+/// power-of-two buckets from 16 up).
+pub const REMERGE_BUCKETS: [u64; 7] = [16, 32, 64, 128, 256, 512, u64::MAX];
+
+/// Counts of dynamic thread-instructions by the fetch mode they were
+/// fetched in (Figure 5(d)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FetchModeCounts {
+    /// Fetched while merged with at least one other thread.
+    pub merge: u64,
+    /// Fetched independently in DETECT mode.
+    pub detect: u64,
+    /// Fetched in CATCHUP mode (either side of the catch-up).
+    pub catchup: u64,
+}
+
+impl FetchModeCounts {
+    /// Total thread-instructions fetched.
+    pub fn total(&self) -> u64 {
+        self.merge + self.detect + self.catchup
+    }
+
+    /// Record one thread-instruction fetched in `mode`.
+    pub fn record(&mut self, mode: SyncMode) {
+        match mode {
+            SyncMode::Merge => self.merge += 1,
+            SyncMode::Detect => self.detect += 1,
+            SyncMode::Catchup { .. } => self.catchup += 1,
+        }
+    }
+
+    /// `(merge, detect, catchup)` fractions of the total.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total().max(1) as f64;
+        (
+            self.merge as f64 / t,
+            self.detect as f64 / t,
+            self.catchup as f64 / t,
+        )
+    }
+}
+
+/// Instruction-identity classification of executed thread-instructions
+/// (Figure 5(b)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IdentityCounts {
+    /// Thread-instructions fetched with a multi-thread ITID but executed
+    /// as separate instructions (fetch-identical only).
+    pub fetch_identical: u64,
+    /// Thread-instructions executed as part of a merged instruction
+    /// (execute-identical), excluding the register-merge-assisted ones.
+    pub execute_identical: u64,
+    /// Execute-identical thread-instructions whose merging relied on a
+    /// Register Sharing Table bit set by the register-merging hardware.
+    pub execute_identical_regmerge: u64,
+    /// Thread-instructions fetched alone (not identical).
+    pub private: u64,
+}
+
+impl IdentityCounts {
+    /// Total thread-instructions classified.
+    pub fn total(&self) -> u64 {
+        self.fetch_identical + self.execute_identical + self.execute_identical_regmerge + self.private
+    }
+}
+
+/// Event counters consumed by the energy model (`mmt-energy`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EnergyEvents {
+    /// Cycles simulated (clock tree + leakage).
+    pub cycles: u64,
+    /// Instruction-cache accesses (one per fetch group per cycle).
+    pub icache_accesses: u64,
+    /// Data-cache accesses (per-thread for split/ME accesses, once for
+    /// merged MT accesses).
+    pub dcache_accesses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// DRAM accesses.
+    pub dram_accesses: u64,
+    /// Uops that occupied rename/dispatch slots.
+    pub renames: u64,
+    /// Uops issued to functional units.
+    pub executions: u64,
+    /// Register-file read ports exercised.
+    pub regfile_reads: u64,
+    /// Register-file write ports exercised.
+    pub regfile_writes: u64,
+    /// Instructions committed (ROB retirement slots).
+    pub commits: u64,
+    /// Branch-predictor accesses.
+    pub bpred_accesses: u64,
+    /// MMT overhead: Fetch History Buffer records + CAM searches.
+    pub fhb_ops: u64,
+    /// MMT overhead: Register Sharing Table destination updates.
+    pub rst_updates: u64,
+    /// MMT overhead: LVIP lookups.
+    pub lvip_lookups: u64,
+    /// MMT overhead: commit-time register-merge comparisons.
+    pub merge_checks: u64,
+    /// MMT overhead: splitter evaluations (merged instructions pushed
+    /// through the filter/chooser).
+    pub split_evals: u64,
+}
+
+/// Complete statistics from one simulation run.
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimStats {
+    /// Total cycles to finish every thread.
+    pub cycles: u64,
+    /// Architectural instructions retired, per thread.
+    pub retired_per_thread: Vec<u64>,
+    /// Macro-instructions fetched (merged groups count once).
+    pub macro_ops_fetched: u64,
+    /// Uops dispatched after splitting (merged uops count once).
+    pub uops_dispatched: u64,
+    /// Uops executed (merged uops count once — the execution saving).
+    pub uops_executed: u64,
+    /// Fetch-mode occupancy of thread-instructions (Figure 5(d)).
+    pub fetch_modes: FetchModeCounts,
+    /// Identity classification (Figure 5(b)).
+    pub identity: IdentityCounts,
+    /// Conditional branches executed / mispredicted.
+    pub branches: u64,
+    /// Mispredicted conditional branches (thread-level).
+    pub branch_mispredicts: u64,
+    /// LVIP lookups.
+    pub lvip_lookups: u64,
+    /// LVIP mispredictions (rollbacks).
+    pub lvip_mispredicts: u64,
+    /// Divergences (merge groups split).
+    pub divergences: u64,
+    /// Successful remerges.
+    pub remerges: u64,
+    /// CATCHUP entries that turned out to be false positives.
+    pub catchup_false_positives: u64,
+    /// Histogram over [`REMERGE_BUCKETS`] of taken branches between
+    /// divergence and successful remerge (per remerging thread).
+    pub remerge_branch_histogram: [u64; REMERGE_BUCKETS.len()],
+    /// L1 instruction cache statistics.
+    pub l1i: CacheStats,
+    /// L1 data cache statistics.
+    pub l1d: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// Energy event counters.
+    pub energy: EnergyEvents,
+}
+
+impl SimStats {
+    /// Total architectural instructions retired across threads.
+    pub fn total_retired(&self) -> u64 {
+        self.retired_per_thread.iter().sum()
+    }
+
+    /// Committed thread-instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_retired() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Record a remerge that took `branches` taken branches since the
+    /// divergence.
+    pub fn record_remerge_distance(&mut self, branches: u64) {
+        let idx = REMERGE_BUCKETS
+            .iter()
+            .position(|&b| branches <= b)
+            .expect("last bucket is unbounded");
+        self.remerge_branch_histogram[idx] += 1;
+    }
+
+    /// Fraction of remerges found within `bound` taken branches.
+    pub fn remerges_within(&self, bound: u64) -> f64 {
+        let total: u64 = self.remerge_branch_histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let within: u64 = REMERGE_BUCKETS
+            .iter()
+            .zip(&self.remerge_branch_histogram)
+            .filter(|&(&b, _)| b <= bound)
+            .map(|(_, &c)| c)
+            .sum();
+        within as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_mode_fractions_sum_to_one() {
+        let mut f = FetchModeCounts::default();
+        f.record(SyncMode::Merge);
+        f.record(SyncMode::Merge);
+        f.record(SyncMode::Detect);
+        f.record(SyncMode::Catchup { ahead: 1 });
+        let (m, d, c) = f.fractions();
+        assert!((m + d + c - 1.0).abs() < 1e-12);
+        assert_eq!(f.total(), 4);
+        assert_eq!(f.merge, 2);
+    }
+
+    #[test]
+    fn empty_fractions_do_not_divide_by_zero() {
+        let f = FetchModeCounts::default();
+        assert_eq!(f.fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn remerge_histogram_buckets() {
+        let mut s = SimStats::default();
+        s.record_remerge_distance(3); // <=16
+        s.record_remerge_distance(16); // <=16
+        s.record_remerge_distance(17); // <=32
+        s.record_remerge_distance(600); // unbounded bucket
+        assert_eq!(s.remerge_branch_histogram[0], 2);
+        assert_eq!(s.remerge_branch_histogram[1], 1);
+        assert_eq!(s.remerge_branch_histogram[6], 1);
+        assert!((s.remerges_within(16) - 0.5).abs() < 1e-12);
+        assert!((s.remerges_within(512) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn identity_total() {
+        let id = IdentityCounts {
+            fetch_identical: 10,
+            execute_identical: 5,
+            execute_identical_regmerge: 2,
+            private: 3,
+        };
+        assert_eq!(id.total(), 20);
+    }
+}

@@ -1,0 +1,232 @@
+//! Property-based tests for the MMT mechanisms: the splitter always
+//! produces a minimal partition that respects the Register Sharing
+//! Table; ITID masks behave like sets; the LVIP is a proper tagged
+//! table.
+
+use mmt_sim::rst::{pair_index, RegSharingTable};
+use mmt_sim::split::split_instruction_at;
+use mmt_sim::{Itid, Lvip, MmtLevel};
+use mmt_isa::{AluOp, Inst, MemSharing, Reg};
+use proptest::prelude::*;
+
+fn alu_inst() -> Inst {
+    Inst::Alu {
+        op: AluOp::Add,
+        rd: Reg::R3,
+        rs1: Reg::R1,
+        rs2: Reg::R2,
+    }
+}
+
+/// Build an RST whose (r1, r2) pair bits follow the 6-bit patterns.
+fn rst_from_patterns(p1: u8, p2: u8) -> RegSharingTable {
+    let mut rst = RegSharingTable::new_none_shared();
+    for t in 0..4 {
+        for u in (t + 1)..4 {
+            let bit = 1 << pair_index(t, u);
+            if p1 & bit != 0 {
+                rst.set_merged(Reg::R1, t, u);
+            }
+            if p2 & bit != 0 {
+                rst.set_merged(Reg::R2, t, u);
+            }
+        }
+    }
+    rst
+}
+
+proptest! {
+    #[test]
+    fn split_is_always_a_partition(itid_mask in 1u8..16, p1 in 0u8..64, p2 in 0u8..64) {
+        let rst = rst_from_patterns(p1, p2);
+        let mut lvip = Lvip::new(16);
+        let out = split_instruction_at(
+            7,
+            alu_inst(),
+            Itid::from_mask(itid_mask),
+            MemSharing::Shared,
+            MmtLevel::Fx,
+            &rst,
+            &mut lvip,
+        );
+        // Parts are disjoint and cover the fetched ITID exactly.
+        let mut covered = 0u8;
+        for part in &out.parts {
+            prop_assert_eq!(covered & part.itid.mask(), 0, "parts overlap");
+            covered |= part.itid.mask();
+            // Soundness: every pair inside a merged part shares both sources.
+            for (t, u) in part.itid.pairs() {
+                prop_assert!(rst.pair_shared(Reg::R1, t, u));
+                prop_assert!(rst.pair_shared(Reg::R2, t, u));
+            }
+        }
+        prop_assert_eq!(covered, itid_mask);
+    }
+
+    #[test]
+    fn split_is_minimal_for_transitive_sharing(itid_mask in 1u8..16, groups in 0u8..3) {
+        // Build a *transitive* sharing relation (an actual partition into
+        // `groups+1` classes by thread index modulo); the chooser must
+        // recover exactly that partition's class count within the ITID.
+        let classes = groups as usize + 1;
+        let mut rst = RegSharingTable::new_none_shared();
+        for t in 0..4 {
+            for u in (t + 1)..4 {
+                if t % classes == u % classes {
+                    rst.set_merged(Reg::R1, t, u);
+                    rst.set_merged(Reg::R2, t, u);
+                }
+            }
+        }
+        let mut lvip = Lvip::new(16);
+        let itid = Itid::from_mask(itid_mask);
+        let out = split_instruction_at(
+            7, alu_inst(), itid, MemSharing::Shared, MmtLevel::Fx, &rst, &mut lvip,
+        );
+        // Expected classes present within the ITID:
+        let expected: std::collections::HashSet<usize> =
+            itid.threads().map(|t| t % classes).collect();
+        prop_assert_eq!(out.parts.len(), expected.len(), "minimal partition");
+    }
+
+    #[test]
+    fn itid_set_algebra(mask in 1u8..16) {
+        let i = Itid::from_mask(mask);
+        prop_assert_eq!(i.count(), i.threads().count());
+        prop_assert_eq!(i.is_merged(), i.count() >= 2);
+        prop_assert!(i.contains(i.lead()));
+        prop_assert!(i.threads().all(|t| i.contains(t)));
+        // pairs() enumerates n*(n-1)/2 unordered pairs.
+        let n = i.count();
+        prop_assert_eq!(i.pairs().count(), n * (n - 1) / 2);
+        prop_assert!(Itid::all(4).superset_of(i));
+    }
+
+    #[test]
+    fn rst_update_dest_is_idempotent(itid_mask in 1u8..16, parts_seed in any::<u64>()) {
+        // Split the itid deterministically from the seed into a partition.
+        let itid = Itid::from_mask(itid_mask);
+        let mut remaining: Vec<usize> = itid.threads().collect();
+        let mut parts: Vec<Itid> = Vec::new();
+        let mut seed = parts_seed;
+        while !remaining.is_empty() {
+            let take = 1 + (seed as usize % remaining.len());
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let group: Vec<usize> = remaining.drain(..take).collect();
+            let mask = group.iter().fold(0u8, |a, &t| a | 1 << t);
+            parts.push(Itid::from_mask(mask));
+        }
+        let mut rst1 = RegSharingTable::new_all_shared();
+        rst1.update_dest(Reg::R5, itid, &parts);
+        let mut rst2 = RegSharingTable::new_all_shared();
+        rst2.update_dest(Reg::R5, itid, &parts);
+        rst2.update_dest(Reg::R5, itid, &parts);
+        for t in 0..4 {
+            for u in (t + 1)..4 {
+                prop_assert_eq!(
+                    rst1.pair_shared(Reg::R5, t, u),
+                    rst2.pair_shared(Reg::R5, t, u)
+                );
+                // Pairs inside one part are shared; pairs split across
+                // parts (with a member in the itid) are not.
+                let together = parts.iter().any(|p| p.contains(t) && p.contains(u));
+                if itid.contains(t) || itid.contains(u) {
+                    prop_assert_eq!(rst1.pair_shared(Reg::R5, t, u), together);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lvip_is_a_tagged_table(pcs in prop::collection::vec(0u64..100_000, 1..64)) {
+        let mut lvip = Lvip::new(64);
+        let mut learned = std::collections::HashSet::new();
+        for &pc in &pcs {
+            lvip.record_mismatch(pc);
+            // Learning pc evicts any alias in its slot.
+            learned.retain(|&p: &u64| p == pc || (p % 64) != (pc % 64));
+            learned.insert(pc);
+        }
+        for &pc in &learned {
+            prop_assert!(!lvip.predict_identical(pc), "learned pc {pc} must predict split");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-pipeline property: for arbitrary (small) workloads, MMT at any
+// feature level is architecturally invisible and deterministic.
+// ---------------------------------------------------------------------
+
+use mmt_sim::{RunSpec, SimConfig, Simulator};
+use mmt_workloads::{data, generator, DivergenceProfile, KernelSpec};
+
+fn arb_small_spec() -> impl Strategy<Value = KernelSpec> {
+    (
+        (
+            any::<bool>(),
+            1usize..5,
+            0usize..2,
+            0usize..3,
+            0usize..5,
+            0usize..3,
+            0usize..2,
+            prop::sample::select(vec![0u64, 2, 7]),
+        ),
+        (any::<bool>(), any::<bool>(), 0u8..=100, any::<bool>(), any::<u64>()),
+    )
+        .prop_map(|((mt, ca, cf, cl, pa, pl, st, div), (part, calls, me, chase, seed))| {
+            let sharing = if mt { MemSharing::Shared } else { MemSharing::PerThread };
+            KernelSpec {
+                sharing,
+                iters: 5,
+                common_alu: ca,
+                common_fpu: cf,
+                common_loads: cl,
+                private_alu: pa,
+                private_loads: pl,
+                stores: st,
+                divergence_inv: div,
+                divergence: DivergenceProfile::Short,
+                index_partitioned: part && sharing == MemSharing::Shared,
+                calls,
+                me_ident_pct: if sharing == MemSharing::PerThread { me } else { 0 },
+                pointer_chase: chase,
+                ws_words: 256,
+                inner_iters: 2,
+                unroll: 2,
+                barrier_every: 0,
+                seed,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mmt_is_architecturally_invisible_on_random_workloads(
+        spec in arb_small_spec(),
+        threads in 2usize..4,
+    ) {
+        let program = generator::generate(&spec, threads, spec.iters);
+        let memories = data::build_memories(&spec, threads, false);
+        let mut reference: Option<Vec<[u64; 32]>> = None;
+        for level in MmtLevel::ALL {
+            let run = RunSpec {
+                program: program.clone(),
+                sharing: spec.sharing,
+                memories: memories.clone(),
+                threads,
+            };
+            let r = Simulator::new(SimConfig::paper_with(threads, level), run)
+                .expect("valid spec")
+                .run()
+                .expect("terminates");
+            match &reference {
+                None => reference = Some(r.final_regs),
+                Some(regs) => prop_assert_eq!(&r.final_regs, regs, "level {}", level),
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Two-level adaptive branch predictor.
+//!
+//! Table 4 specifies a "2-level, 1024 Entry, History Length 10"
+//! predictor. We implement the classic GAs/gshare organization: a
+//! per-thread global history register (10 bits) XOR-folded with the branch
+//! PC indexes a shared table of 1024 two-bit saturating counters.
+//! Histories are per-thread so SMT threads do not scramble each other's
+//! correlation (the pattern table is shared, as in real SMTs).
+
+/// Geometry of the two-level predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorConfig {
+    /// Number of two-bit counters (must be a power of two).
+    pub entries: usize,
+    /// Global history length in bits.
+    pub history_bits: u32,
+}
+
+impl PredictorConfig {
+    /// The paper's configuration: 1024 entries, 10 bits of history.
+    pub const fn paper() -> PredictorConfig {
+        PredictorConfig {
+            entries: 1024,
+            history_bits: 10,
+        }
+    }
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig::paper()
+    }
+}
+
+/// A gshare-style two-level predictor with per-thread history.
+///
+/// # Examples
+///
+/// ```
+/// use mmt_frontend::TwoLevelPredictor;
+/// let mut p = TwoLevelPredictor::new(Default::default(), 2);
+/// // Train a strongly-taken branch for thread 0 (long enough for the
+/// // 10-bit global history to saturate).
+/// for _ in 0..20 { p.update(0, 100, true); }
+/// assert!(p.predict(0, 100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoLevelPredictor {
+    cfg: PredictorConfig,
+    /// Two-bit saturating counters; >=2 predicts taken.
+    pht: Vec<u8>,
+    /// Per-thread global history registers.
+    histories: Vec<u64>,
+    history_mask: u64,
+    lookups: u64,
+    correct: u64,
+}
+
+impl TwoLevelPredictor {
+    /// Build a predictor for `threads` hardware threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or is zero.
+    pub fn new(cfg: PredictorConfig, threads: usize) -> TwoLevelPredictor {
+        assert!(cfg.entries.is_power_of_two() && cfg.entries > 0);
+        TwoLevelPredictor {
+            cfg,
+            pht: vec![1; cfg.entries], // weakly not-taken
+            histories: vec![0; threads],
+            history_mask: (1u64 << cfg.history_bits) - 1,
+            lookups: 0,
+            correct: 0,
+        }
+    }
+
+    #[inline]
+    fn index(&self, tid: usize, pc: u64) -> usize {
+        let h = self.histories[tid] & self.history_mask;
+        ((pc ^ h) & (self.cfg.entries as u64 - 1)) as usize
+    }
+
+    /// Predict the direction of the branch at `pc` for thread `tid`.
+    pub fn predict(&self, tid: usize, pc: u64) -> bool {
+        self.pht[self.index(tid, pc)] >= 2
+    }
+
+    /// Update with the resolved outcome; also records accuracy
+    /// statistics (a lookup + update pair per dynamic branch).
+    pub fn update(&mut self, tid: usize, pc: u64, taken: bool) {
+        let idx = self.index(tid, pc);
+        let predicted = self.pht[idx] >= 2;
+        self.lookups += 1;
+        if predicted == taken {
+            self.correct += 1;
+        }
+        let c = &mut self.pht[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        let h = &mut self.histories[tid];
+        *h = ((*h << 1) | taken as u64) & self.history_mask;
+    }
+
+    /// Fraction of updates whose pre-update prediction was correct.
+    pub fn accuracy(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.lookups as f64
+        }
+    }
+
+    /// Dynamic branches observed.
+    pub fn branches_seen(&self) -> u64 {
+        self.lookups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_biased_branch() {
+        // History must saturate (10 bits) before the index stabilizes,
+        // so train past the history length.
+        let mut p = TwoLevelPredictor::new(PredictorConfig::paper(), 1);
+        for _ in 0..20 {
+            p.update(0, 64, true);
+        }
+        assert!(p.predict(0, 64));
+        for _ in 0..20 {
+            p.update(0, 64, false);
+        }
+        assert!(!p.predict(0, 64));
+    }
+
+    #[test]
+    fn learns_alternating_pattern_through_history() {
+        // A strict alternation is perfectly predictable with >=1 bit of
+        // history; verify the two-level structure captures it.
+        let mut p = TwoLevelPredictor::new(PredictorConfig::paper(), 1);
+        let mut taken = false;
+        // Warm up.
+        for _ in 0..64 {
+            p.update(0, 200, taken);
+            taken = !taken;
+        }
+        let mut correct = 0;
+        for _ in 0..64 {
+            if p.predict(0, 200) == taken {
+                correct += 1;
+            }
+            p.update(0, 200, taken);
+            taken = !taken;
+        }
+        assert!(correct >= 60, "only {correct}/64 correct");
+    }
+
+    #[test]
+    fn per_thread_histories_are_independent() {
+        let mut p = TwoLevelPredictor::new(PredictorConfig::paper(), 2);
+        // Thread 1 hammers unrelated outcomes; thread 0's biased branch
+        // must still be learned (same PHT, different history => different
+        // index with high probability; we assert the end-to-end effect).
+        for i in 0..256 {
+            p.update(0, 64, true);
+            p.update(1, 64, i % 3 == 0);
+        }
+        assert!(p.predict(0, 64));
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let mut p = TwoLevelPredictor::new(PredictorConfig::paper(), 1);
+        for _ in 0..100 {
+            p.update(0, 8, true);
+        }
+        assert!(p.accuracy() > 0.8); // ~11 warm-up misses while history fills
+        assert_eq!(p.branches_seen(), 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_entries_panics() {
+        let _ = TwoLevelPredictor::new(
+            PredictorConfig {
+                entries: 1000,
+                history_bits: 10,
+            },
+            1,
+        );
+    }
+}

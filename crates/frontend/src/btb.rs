@@ -1,0 +1,80 @@
+//! Branch target buffer.
+
+/// A direct-mapped branch target buffer (Table 4: 2048 entries).
+///
+/// Maps a branch/jump PC to its most recent taken target so the fetch
+/// engine can redirect in the same cycle. Tagged with the full PC, so
+/// aliasing produces a miss rather than a wrong target (the fetch engine
+/// then falls through and pays a redirect when the branch resolves).
+///
+/// # Examples
+///
+/// ```
+/// use mmt_frontend::Btb;
+/// let mut btb = Btb::new(2048);
+/// assert_eq!(btb.lookup(10), None);
+/// btb.update(10, 42);
+/// assert_eq!(btb.lookup(10), Some(42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<Option<(u64, u64)>>, // (pc tag, target)
+    mask: u64,
+}
+
+impl Btb {
+    /// Create an empty BTB with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or not a power of two.
+    pub fn new(entries: usize) -> Btb {
+        assert!(entries.is_power_of_two() && entries > 0);
+        Btb {
+            entries: vec![None; entries],
+            mask: entries as u64 - 1,
+        }
+    }
+
+    /// Predicted target for the control instruction at `pc`, if known.
+    pub fn lookup(&self, pc: u64) -> Option<u64> {
+        match self.entries[(pc & self.mask) as usize] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Record that `pc` redirected to `target`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.entries[(pc & self.mask) as usize] = Some((pc, target));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_overwrites() {
+        let mut b = Btb::new(8);
+        b.update(3, 100);
+        assert_eq!(b.lookup(3), Some(100));
+        b.update(3, 200);
+        assert_eq!(b.lookup(3), Some(200));
+    }
+
+    #[test]
+    fn aliasing_is_a_miss_not_a_lie() {
+        let mut b = Btb::new(8);
+        b.update(3, 100);
+        b.update(11, 500); // same slot (3 & 7 == 11 & 7)
+        assert_eq!(b.lookup(3), None, "evicted by alias");
+        assert_eq!(b.lookup(11), Some(500));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_entries_panics() {
+        let _ = Btb::new(0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Fetch History Buffer.
+
+/// The per-thread Fetch History Buffer: a small CAM of the targets of
+/// recently *taken* branches (Section 4.1, Figure 3(b); Table 4 sizes it
+/// at 32 entries).
+///
+/// While a thread is in DETECT or CATCHUP mode it records every taken
+/// branch target here; other threads CAM-search it to discover that their
+/// own fetch target lies on a path this thread already executed — the
+/// remerge-point detection at the heart of MMT's fetch synchronization.
+///
+/// # Examples
+///
+/// ```
+/// use mmt_frontend::Fhb;
+/// let mut fhb = Fhb::new(32);
+/// fhb.record(0x40);
+/// fhb.record(0x80);
+/// assert!(fhb.contains(0x40));
+/// assert!(!fhb.contains(0x99));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fhb {
+    entries: Vec<u64>,
+    valid: Vec<bool>,
+    next: usize,
+    records: u64,
+    searches: u64,
+}
+
+impl Fhb {
+    /// Create an empty buffer with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Fhb {
+        assert!(capacity > 0, "FHB capacity must be non-zero");
+        Fhb {
+            entries: vec![0; capacity],
+            valid: vec![false; capacity],
+            next: 0,
+            records: 0,
+            searches: 0,
+        }
+    }
+
+    /// Record a taken-branch target, evicting the oldest entry when full.
+    pub fn record(&mut self, target: u64) {
+        self.entries[self.next] = target;
+        self.valid[self.next] = true;
+        self.next = (self.next + 1) % self.entries.len();
+        self.records += 1;
+    }
+
+    /// CAM search: is `target` present? Counts an access (the energy model
+    /// charges CAM searches, which only happen outside MERGE mode).
+    pub fn contains(&mut self, target: u64) -> bool {
+        self.age_of(target).is_some()
+    }
+
+    /// CAM search returning the *age* of the youngest matching entry
+    /// (0 = most recently recorded). Counts an access.
+    pub fn age_of(&mut self, target: u64) -> Option<usize> {
+        self.searches += 1;
+        let n = self.entries.len();
+        for age in 0..n {
+            let idx = (self.next + n - 1 - age) % n;
+            if self.valid[idx] && self.entries[idx] == target {
+                return Some(age);
+            }
+        }
+        None
+    }
+
+    /// The most recently recorded target, if any.
+    pub fn newest(&self) -> Option<u64> {
+        let n = self.entries.len();
+        let idx = (self.next + n - 1) % n;
+        self.valid[idx].then(|| self.entries[idx])
+    }
+
+    /// Invalidate all entries (done when the owning thread re-merges or a
+    /// fresh divergence begins).
+    pub fn clear(&mut self) {
+        self.valid.iter_mut().for_each(|v| *v = false);
+        self.next = 0;
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+
+    /// Whether no targets are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime counts of `(records, CAM searches)` for energy accounting.
+    pub fn activity(&self) -> (u64, u64) {
+        (self.records, self.searches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_finds() {
+        let mut f = Fhb::new(4);
+        assert!(f.is_empty());
+        f.record(10);
+        f.record(20);
+        assert_eq!(f.len(), 2);
+        assert!(f.contains(10));
+        assert!(f.contains(20));
+        assert!(!f.contains(30));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut f = Fhb::new(2);
+        f.record(1);
+        f.record(2);
+        f.record(3); // evicts 1
+        assert!(!f.contains(1));
+        assert!(f.contains(2));
+        assert!(f.contains(3));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut f = Fhb::new(4);
+        f.record(1);
+        f.clear();
+        assert!(f.is_empty());
+        assert!(!f.contains(1));
+        // Records again from scratch.
+        f.record(9);
+        assert!(f.contains(9));
+    }
+
+    #[test]
+    fn activity_counts() {
+        let mut f = Fhb::new(4);
+        f.record(1);
+        f.record(2);
+        let _ = f.contains(1);
+        let _ = f.contains(7);
+        assert_eq!(f.activity(), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = Fhb::new(0);
+    }
+
+    #[test]
+    fn larger_fhb_remembers_longer_history() {
+        // The Figure 7 tradeoff: a bigger CAM finds older remerge points.
+        let mut small = Fhb::new(8);
+        let mut large = Fhb::new(128);
+        for t in 0..100 {
+            small.record(t);
+            large.record(t);
+        }
+        assert!(!small.contains(5), "small buffer forgot early targets");
+        assert!(large.contains(5), "large buffer retains them");
+    }
+}

@@ -1,0 +1,100 @@
+//! Return address stack.
+
+/// A fixed-depth return address stack (Table 4: 16 entries), one per
+/// hardware thread.
+///
+/// `jal` pushes the return address; `jr` pops the prediction. On overflow
+/// the oldest entry is silently overwritten (standard circular RAS), so a
+/// deep call chain degrades gracefully into mispredictions rather than
+/// stalls.
+///
+/// # Examples
+///
+/// ```
+/// use mmt_frontend::Ras;
+/// let mut ras = Ras::new(16);
+/// ras.push(101);
+/// ras.push(202);
+/// assert_eq!(ras.pop(), Some(202));
+/// assert_eq!(ras.pop(), Some(101));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ras {
+    slots: Vec<u64>,
+    top: usize,  // next push position
+    live: usize, // number of valid entries (<= capacity)
+}
+
+impl Ras {
+    /// Create an empty stack of the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Ras {
+        assert!(depth > 0, "RAS depth must be non-zero");
+        Ras {
+            slots: vec![0; depth],
+            top: 0,
+            live: 0,
+        }
+    }
+
+    /// Push a return address (a call).
+    pub fn push(&mut self, addr: u64) {
+        self.slots[self.top] = addr;
+        self.top = (self.top + 1) % self.slots.len();
+        self.live = (self.live + 1).min(self.slots.len());
+    }
+
+    /// Pop the predicted return address, or `None` when empty.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.live == 0 {
+            return None;
+        }
+        self.top = (self.top + self.slots.len() - 1) % self.slots.len();
+        self.live -= 1;
+        Some(self.slots[self.top])
+    }
+
+    /// Number of live entries.
+    pub fn depth(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = Ras::new(4);
+        for v in [1, 2, 3] {
+            r.push(v);
+        }
+        assert_eq!(r.depth(), 3);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut r = Ras::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites 1
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None, "oldest entry was lost");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_depth_panics() {
+        let _ = Ras::new(0);
+    }
+}

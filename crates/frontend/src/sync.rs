@@ -1,0 +1,472 @@
+//! The MERGE / DETECT / CATCHUP fetch-synchronization state machine
+//! (paper Section 4.1, Figure 3(a)).
+//!
+//! * **MERGE** — two or more threads have identical PCs and fetch as one
+//!   group; fetched instructions carry the group's ITID mask.
+//! * **DETECT** — a thread fetches independently after a divergence. On
+//!   every taken branch it records the target in its own [`Fhb`] and
+//!   CAM-searches the other threads' FHBs for that target; a hit means the
+//!   other thread already executed this point, i.e. the paths have
+//!   remerged somewhere behind the other thread.
+//! * **CATCHUP** — the "behind" thread (whose target hit in another's
+//!   FHB) receives boosted fetch priority while the "ahead" thread is
+//!   throttled, until their PCs meet (→ MERGE) or the behind thread's
+//!   next taken target misses the ahead thread's FHB (false positive →
+//!   DETECT).
+//!
+//! [`FetchSync`] owns the per-thread modes, merge-group masks and FHBs;
+//! the fetch engine in `mmt-sim` drives it with divergence, taken-branch
+//! and PC-equality events.
+
+use crate::fhb::Fhb;
+
+/// A thread's current fetch-synchronization mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncMode {
+    /// Fetching as part of a merged group (the mask has >= 2 bits set).
+    Merge,
+    /// Fetching independently, hunting for a remerge point.
+    Detect,
+    /// Catching up to thread `ahead` after a remerge-point hit.
+    Catchup {
+        /// The thread whose FHB contained this thread's branch target.
+        ahead: usize,
+    },
+}
+
+/// Notable transitions returned by [`FetchSync::record_taken`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncEvent {
+    /// No mode change.
+    None,
+    /// The thread found its target in `ahead`'s FHB and entered CATCHUP.
+    CatchupEntered {
+        /// The thread that is now catching up.
+        behind: usize,
+        /// The thread it is catching up to.
+        ahead: usize,
+    },
+    /// A CATCHUP turned out to be a false positive; back to DETECT.
+    CatchupAborted {
+        /// The thread that fell back to DETECT.
+        thread: usize,
+    },
+}
+
+/// Fetch-synchronization bookkeeping for up to [`mmt_isa::MAX_THREADS`]
+/// hardware threads.
+///
+/// # Examples
+///
+/// ```
+/// use mmt_frontend::{FetchSync, SyncMode, SyncEvent};
+/// let mut s = FetchSync::new(2, 32);
+/// assert_eq!(s.mode(0), SyncMode::Merge); // SPMD threads start merged
+///
+/// // The threads take different directions at a branch: both singleton.
+/// s.diverge(&[0b01, 0b10]);
+/// assert_eq!(s.mode(0), SyncMode::Detect);
+///
+/// // Thread 1 passes target 0x40; later thread 0 branches to 0x40 too.
+/// s.record_taken(1, 0x40);
+/// let ev = s.record_taken(0, 0x40);
+/// assert_eq!(ev, SyncEvent::CatchupEntered { behind: 0, ahead: 1 });
+///
+/// // Their PCs meet: remerge.
+/// s.merge(0, 1);
+/// assert_eq!(s.mode(0), SyncMode::Merge);
+/// assert_eq!(s.group_mask(0), 0b11);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FetchSync {
+    n: usize,
+    modes: Vec<SyncMode>,
+    /// Per-thread mask of the merge group it belongs to (bit t set for a
+    /// singleton thread t).
+    groups: Vec<u8>,
+    fhbs: Vec<Fhb>,
+    /// Taken branches seen by each thread since entering CATCHUP (bounded
+    /// chases: a catch-up that runs too long is declared a false
+    /// positive).
+    catchup_steps: Vec<u32>,
+    catchups_entered: u64,
+    catchups_aborted: u64,
+    merges: u64,
+    divergences: u64,
+}
+
+impl FetchSync {
+    /// Create state for `threads` threads, all initially merged into one
+    /// group (the SPMD start-of-program condition), with `fhb_entries`
+    /// per-thread FHB capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or exceeds 8 (ITID masks are `u8`).
+    pub fn new(threads: usize, fhb_entries: usize) -> FetchSync {
+        assert!((1..=8).contains(&threads), "1..=8 threads supported");
+        let all = ((1u16 << threads) - 1) as u8;
+        let mode = if threads == 1 {
+            SyncMode::Detect
+        } else {
+            SyncMode::Merge
+        };
+        FetchSync {
+            n: threads,
+            modes: vec![mode; threads],
+            groups: vec![all; threads],
+            fhbs: (0..threads).map(|_| Fhb::new(fhb_entries)).collect(),
+            catchup_steps: vec![0; threads],
+            catchups_entered: 0,
+            catchups_aborted: 0,
+            merges: 0,
+            divergences: 0,
+        }
+    }
+
+    /// Number of threads tracked.
+    pub fn threads(&self) -> usize {
+        self.n
+    }
+
+    /// Current mode of thread `t`.
+    pub fn mode(&self, t: usize) -> SyncMode {
+        self.modes[t]
+    }
+
+    /// Mask of the merge group containing `t` (just `1 << t` when
+    /// unmerged).
+    pub fn group_mask(&self, t: usize) -> u8 {
+        self.groups[t]
+    }
+
+    /// Whether `t` currently fetches as part of a multi-thread group.
+    pub fn is_merged(&self, t: usize) -> bool {
+        self.groups[t].count_ones() >= 2
+    }
+
+    /// Whether `t` should receive *boosted* fetch priority (it is the
+    /// behind thread of a CATCHUP).
+    pub fn boosted(&self, t: usize) -> bool {
+        matches!(self.modes[t], SyncMode::Catchup { .. })
+    }
+
+    /// Whether `t` should receive *reduced* fetch priority (some other
+    /// thread is catching up to it).
+    pub fn throttled(&self, t: usize) -> bool {
+        self.modes
+            .iter()
+            .any(|m| matches!(m, SyncMode::Catchup { ahead } if *ahead == t))
+    }
+
+    /// Split a merged group whose members resolved a branch differently.
+    ///
+    /// `parts` are the sub-masks, one per distinct next-PC; they must
+    /// partition the old group. Multi-thread parts remain merged with the
+    /// narrower mask; singleton parts enter DETECT with a cleared FHB.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `parts` is not a partition of one current group.
+    pub fn diverge(&mut self, parts: &[u8]) {
+        debug_assert!(!parts.is_empty());
+        let whole: u8 = parts.iter().fold(0, |a, &p| {
+            debug_assert_eq!(a & p, 0, "parts overlap");
+            a | p
+        });
+        debug_assert!(
+            (0..self.n).filter(|&t| whole & (1 << t) != 0).all(|t| self.groups[t] == whole),
+            "parts must partition one existing group"
+        );
+        self.divergences += 1;
+        for &part in parts {
+            for t in 0..self.n {
+                if part & (1 << t) == 0 {
+                    continue;
+                }
+                self.groups[t] = part;
+                if part.count_ones() >= 2 {
+                    self.modes[t] = SyncMode::Merge;
+                } else {
+                    self.modes[t] = SyncMode::Detect;
+                    self.fhbs[t].clear();
+                }
+            }
+        }
+    }
+
+    /// A DETECT/CATCHUP thread executed a taken branch to `target`:
+    /// record it and run the remerge-point CAM search.
+    ///
+    /// Calls on merged threads are ignored (the hardware does not record
+    /// FHB entries in MERGE mode) and return [`SyncEvent::None`].
+    pub fn record_taken(&mut self, t: usize, target: u64) -> SyncEvent {
+        match self.modes[t] {
+            SyncMode::Merge => SyncEvent::None,
+            SyncMode::Detect => {
+                self.fhbs[t].record(target);
+                // CAM-search every other thread's history (merged threads
+                // have empty FHBs, so searching them is harmless). A
+                // thread that is itself catching up to `t` is skipped:
+                // mutual catch-up would throttle both threads.
+                for u in 0..self.n {
+                    if u == t || self.modes[u] == (SyncMode::Catchup { ahead: t }) {
+                        continue;
+                    }
+                    if !self.fhbs[u].contains(target) {
+                        continue;
+                    }
+                    // Note: inside a loop both threads' targets appear in
+                    // both FHBs, so the hit alone cannot say who is
+                    // behind; the fetch engine validates the direction
+                    // with progress counters and cancels bogus entries.
+                    self.modes[t] = SyncMode::Catchup { ahead: u };
+                    self.catchup_steps[t] = 0;
+                    self.catchups_entered += 1;
+                    return SyncEvent::CatchupEntered {
+                        behind: t,
+                        ahead: u,
+                    };
+                }
+                SyncEvent::None
+            }
+            SyncMode::Catchup { ahead } => {
+                self.fhbs[t].record(target);
+                self.catchup_steps[t] += 1;
+                let bound = 2 * self.fhbs[t].capacity() as u32;
+                if self.fhbs[ahead].contains(target) && self.catchup_steps[t] <= bound {
+                    SyncEvent::None
+                } else {
+                    // Either a false positive (the shared path ended) or
+                    // the chase ran past any plausible remerge distance.
+                    self.modes[t] = SyncMode::Detect;
+                    self.catchups_aborted += 1;
+                    SyncEvent::CatchupAborted { thread: t }
+                }
+            }
+        }
+    }
+
+    /// Merge thread `a`'s group with thread `b`'s group (their PCs are
+    /// equal). Clears every member's FHB and cancels CATCHUPs that
+    /// targeted the merged members from inside the new group.
+    pub fn merge(&mut self, a: usize, b: usize) {
+        let mask = self.groups[a] | self.groups[b];
+        self.merges += 1;
+        for t in 0..self.n {
+            if mask & (1 << t) != 0 {
+                self.groups[t] = mask;
+                self.modes[t] = SyncMode::Merge;
+                self.fhbs[t].clear();
+            }
+        }
+        // Any thread catching up to a member keeps its CATCHUP; the
+        // member's PC is still meaningful (it is the group PC now).
+    }
+
+    /// Cancel an in-progress CATCHUP (the fetch engine detected it is
+    /// running in the wrong direction — in a loop, *both* threads' branch
+    /// targets appear in each other's FHB, so the FHB hit alone cannot
+    /// tell which thread is behind; the engine disambiguates with
+    /// retired-instruction counters and cancels bogus catch-ups).
+    pub fn cancel_catchup(&mut self, t: usize) {
+        if matches!(self.modes[t], SyncMode::Catchup { .. }) {
+            self.modes[t] = SyncMode::Detect;
+            self.catchups_aborted += 1;
+        }
+    }
+
+    /// Force thread `t` out of any group into DETECT (used when `t` halts
+    /// or its CATCHUP partner halts).
+    pub fn force_detect(&mut self, t: usize) {
+        let mask = self.groups[t];
+        if mask.count_ones() >= 2 {
+            // Leave the rest of the group intact.
+            let rest = mask & !(1 << t);
+            for u in 0..self.n {
+                if rest & (1 << u) != 0 {
+                    self.groups[u] = rest;
+                    if rest.count_ones() < 2 {
+                        self.modes[u] = SyncMode::Detect;
+                        self.fhbs[u].clear();
+                    }
+                }
+            }
+        }
+        self.groups[t] = 1 << t;
+        self.modes[t] = SyncMode::Detect;
+        self.fhbs[t].clear();
+        // Anyone catching up to t must fall back to DETECT.
+        for u in 0..self.n {
+            if matches!(self.modes[u], SyncMode::Catchup { ahead } if ahead == t) {
+                self.modes[u] = SyncMode::Detect;
+            }
+        }
+    }
+
+    /// Lifetime totals: `(catchups entered, catchups aborted, merges,
+    /// divergences)`.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.catchups_entered,
+            self.catchups_aborted,
+            self.merges,
+            self.divergences,
+        )
+    }
+
+    /// Total FHB activity `(records, CAM searches)` across threads, for
+    /// the energy model.
+    pub fn fhb_activity(&self) -> (u64, u64) {
+        self.fhbs
+            .iter()
+            .map(|f| f.activity())
+            .fold((0, 0), |(r, s), (r2, s2)| (r + r2, s + s2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_fully_merged() {
+        let s = FetchSync::new(4, 32);
+        for t in 0..4 {
+            assert_eq!(s.mode(t), SyncMode::Merge);
+            assert_eq!(s.group_mask(t), 0b1111);
+            assert!(s.is_merged(t));
+        }
+    }
+
+    #[test]
+    fn single_thread_starts_detect() {
+        let s = FetchSync::new(1, 32);
+        assert_eq!(s.mode(0), SyncMode::Detect);
+        assert!(!s.is_merged(0));
+    }
+
+    #[test]
+    fn two_way_divergence() {
+        let mut s = FetchSync::new(2, 32);
+        s.diverge(&[0b01, 0b10]);
+        assert_eq!(s.mode(0), SyncMode::Detect);
+        assert_eq!(s.mode(1), SyncMode::Detect);
+        assert_eq!(s.group_mask(0), 0b01);
+        assert_eq!(s.stats().3, 1);
+    }
+
+    #[test]
+    fn four_way_partial_divergence_keeps_subgroup_merged() {
+        let mut s = FetchSync::new(4, 32);
+        s.diverge(&[0b0011, 0b0100, 0b1000]);
+        assert!(s.is_merged(0) && s.is_merged(1));
+        assert_eq!(s.group_mask(0), 0b0011);
+        assert_eq!(s.mode(2), SyncMode::Detect);
+        assert_eq!(s.mode(3), SyncMode::Detect);
+    }
+
+    #[test]
+    fn detect_to_catchup_to_merge() {
+        let mut s = FetchSync::new(2, 32);
+        s.diverge(&[0b01, 0b10]);
+        // Thread 1 runs ahead through targets 100, 200, 300.
+        for t in [100, 200, 300] {
+            assert_eq!(s.record_taken(1, t), SyncEvent::None);
+        }
+        // Thread 0 reaches 200 — a point thread 1 passed.
+        let ev = s.record_taken(0, 200);
+        assert_eq!(
+            ev,
+            SyncEvent::CatchupEntered {
+                behind: 0,
+                ahead: 1
+            }
+        );
+        assert!(s.boosted(0));
+        assert!(s.throttled(1));
+        // Next taken branch of thread 0 also on thread 1's path: stays.
+        assert_eq!(s.record_taken(0, 300), SyncEvent::None);
+        assert_eq!(s.mode(0), SyncMode::Catchup { ahead: 1 });
+        // PCs meet.
+        s.merge(0, 1);
+        assert!(s.is_merged(0));
+        assert_eq!(s.mode(1), SyncMode::Merge);
+        assert_eq!(s.stats().2, 1);
+    }
+
+    #[test]
+    fn catchup_false_positive_falls_back() {
+        let mut s = FetchSync::new(2, 32);
+        s.diverge(&[0b01, 0b10]);
+        s.record_taken(1, 100);
+        assert!(matches!(
+            s.record_taken(0, 100),
+            SyncEvent::CatchupEntered { .. }
+        ));
+        // Thread 0 then branches somewhere thread 1 never went.
+        assert_eq!(
+            s.record_taken(0, 999),
+            SyncEvent::CatchupAborted { thread: 0 }
+        );
+        assert_eq!(s.mode(0), SyncMode::Detect);
+        assert_eq!(s.stats(), (1, 1, 0, 1));
+    }
+
+    #[test]
+    fn merged_threads_do_not_record() {
+        let mut s = FetchSync::new(2, 32);
+        assert_eq!(s.record_taken(0, 42), SyncEvent::None);
+        s.diverge(&[0b01, 0b10]);
+        // Target 42 was never recorded (thread was merged then):
+        assert_eq!(s.record_taken(1, 42), SyncEvent::None);
+    }
+
+    #[test]
+    fn merge_clears_fhbs() {
+        let mut s = FetchSync::new(2, 32);
+        s.diverge(&[0b01, 0b10]);
+        s.record_taken(1, 100);
+        s.record_taken(0, 100); // catchup
+        s.merge(0, 1);
+        s.diverge(&[0b01, 0b10]);
+        // Old entries must not produce remerge hits.
+        assert_eq!(s.record_taken(0, 100), SyncEvent::None);
+    }
+
+    #[test]
+    fn force_detect_breaks_group_and_catchups() {
+        let mut s = FetchSync::new(4, 32);
+        // 0+1 merged, 2 and 3 independent.
+        s.diverge(&[0b0011, 0b0100, 0b1000]);
+        s.record_taken(0, 7); // ignored: merged
+        s.record_taken(2, 500);
+        assert!(matches!(
+            s.record_taken(3, 500),
+            SyncEvent::CatchupEntered { behind: 3, ahead: 2 }
+        ));
+        s.force_detect(2); // thread 2 halts
+        assert_eq!(s.mode(3), SyncMode::Detect, "catchup to halted thread dropped");
+        // Breaking a 2-group demotes the survivor to Detect.
+        s.force_detect(0);
+        assert_eq!(s.mode(1), SyncMode::Detect);
+        assert_eq!(s.group_mask(1), 0b0010);
+    }
+
+    #[test]
+    fn three_member_group_survives_one_leaving() {
+        let mut s = FetchSync::new(4, 32);
+        s.diverge(&[0b0111, 0b1000]);
+        s.force_detect(0);
+        assert_eq!(s.group_mask(1), 0b0110);
+        assert!(s.is_merged(1));
+        assert!(s.is_merged(2));
+        assert_eq!(s.mode(0), SyncMode::Detect);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_threads_panics() {
+        let _ = FetchSync::new(9, 32);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the front-end structures: the RAS against a
+//! model stack, the FHB against a sliding-window model, and the
+//! synchronization state machine's invariants under random event
+//! sequences.
+
+use mmt_frontend::{FetchSync, Fhb, Ras, SyncMode};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ras_matches_a_bounded_stack(ops in prop::collection::vec(prop::option::of(0u64..1000), 1..200)) {
+        const DEPTH: usize = 16;
+        let mut ras = Ras::new(DEPTH);
+        let mut model: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Some(addr) => {
+                    ras.push(addr);
+                    model.push(addr);
+                    if model.len() > DEPTH {
+                        model.remove(0); // circular overwrite drops oldest
+                    }
+                }
+                None => {
+                    prop_assert_eq!(ras.pop(), model.pop());
+                }
+            }
+            prop_assert_eq!(ras.depth(), model.len());
+        }
+    }
+
+    #[test]
+    fn fhb_matches_a_sliding_window(targets in prop::collection::vec(0u64..64, 1..200)) {
+        const CAP: usize = 8;
+        let mut fhb = Fhb::new(CAP);
+        let mut window: Vec<u64> = Vec::new();
+        for &t in &targets {
+            fhb.record(t);
+            window.push(t);
+            if window.len() > CAP {
+                window.remove(0);
+            }
+            // Membership agrees with the window model.
+            for probe in 0..64u64 {
+                prop_assert_eq!(fhb.contains(probe), window.contains(&probe));
+            }
+        }
+    }
+
+    #[test]
+    fn fhb_age_is_distance_from_newest(targets in prop::collection::vec(0u64..32, 1..40)) {
+        let mut fhb = Fhb::new(64); // big enough to never evict here
+        for &t in &targets {
+            fhb.record(t);
+        }
+        // The age of the most recent record is 0; ages count backwards.
+        let newest = *targets.last().unwrap();
+        prop_assert_eq!(fhb.newest(), Some(newest));
+        prop_assert_eq!(fhb.age_of(newest), Some(0));
+        for (i, &t) in targets.iter().enumerate().rev() {
+            let age = targets.len() - 1 - i;
+            // age_of returns the *youngest* occurrence.
+            if targets[i + 1..].contains(&t) {
+                continue;
+            }
+            prop_assert_eq!(fhb.age_of(t), Some(age));
+        }
+    }
+
+    #[test]
+    fn sync_group_masks_always_partition(
+        events in prop::collection::vec((0usize..4, 0u64..16), 1..120),
+    ) {
+        // Random taken-branch streams over 4 threads with occasional
+        // divergences/merges; the group masks must always partition the
+        // thread set and modes must stay consistent with mask sizes.
+        let mut s = FetchSync::new(4, 8);
+        let mut step = 0usize;
+        for (t, target) in events {
+            step += 1;
+            if step.is_multiple_of(13) && s.is_merged(t) {
+                // Split t out of its group.
+                s.force_detect(t);
+            } else if step.is_multiple_of(17) {
+                let u = (t + 1) % 4;
+                if s.group_mask(t) & (1 << u) == 0 {
+                    s.merge(t, u);
+                }
+            } else {
+                let _ = s.record_taken(t, target);
+            }
+            // Invariants.
+            for a in 0..4usize {
+                let mask = s.group_mask(a);
+                prop_assert!(mask & (1 << a) != 0, "thread in its own group");
+                // Everyone in my mask reports the same mask.
+                for b in 0..4usize {
+                    if mask & (1 << b) != 0 {
+                        prop_assert_eq!(s.group_mask(b), mask);
+                    }
+                }
+                match s.mode(a) {
+                    SyncMode::Merge => prop_assert!(mask.count_ones() >= 2),
+                    SyncMode::Detect => prop_assert_eq!(mask.count_ones(), 1),
+                    SyncMode::Catchup { ahead } => {
+                        prop_assert_eq!(mask.count_ones(), 1);
+                        prop_assert!(ahead < 4 && ahead != a);
+                    }
+                }
+            }
+        }
+    }
+}

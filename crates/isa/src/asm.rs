@@ -1,0 +1,411 @@
+//! Assembler DSL.
+//!
+//! [`Builder`] is a tiny in-process assembler: append instructions with
+//! mnemonic-named methods, create forward-referencable [`Label`]s, and
+//! [`Builder::build`] resolves everything into a [`Program`].
+//!
+//! The workload crate writes every synthetic benchmark kernel through this
+//! interface, so it is deliberately ergonomic: all emit methods return
+//! `&mut Self` for chaining.
+
+use crate::inst::{AluOp, BrCond, FpuOp, Inst};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::error::Error;
+use std::fmt;
+
+/// A control-flow label handle created by [`Builder::label`].
+///
+/// A label may be referenced (by branches/jumps) before or after it is
+/// bound to a position with [`Builder::bind`], but must be bound exactly
+/// once before [`Builder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Error produced by [`Builder::build`] when label bookkeeping is wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced by a branch or jump but never bound.
+    UnboundLabel {
+        /// The offending label's creation index.
+        label: usize,
+        /// Instruction index of (one of) the referencing instruction(s).
+        referenced_at: usize,
+    },
+    /// A label was bound more than once.
+    Rebound {
+        /// The offending label's creation index.
+        label: usize,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel {
+                label,
+                referenced_at,
+            } => write!(
+                f,
+                "label {label} referenced at instruction {referenced_at} was never bound"
+            ),
+            AsmError::Rebound { label } => write!(f, "label {label} bound more than once"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// Pending reference awaiting label resolution.
+#[derive(Debug, Clone, Copy)]
+struct Fixup {
+    inst_index: usize,
+    label: Label,
+}
+
+/// An in-process assembler for [`Program`]s.
+///
+/// # Examples
+///
+/// A countdown loop:
+///
+/// ```
+/// use mmt_isa::{asm::Builder, Reg};
+/// let mut b = Builder::new();
+/// let (top, out) = (b.label(), b.label());
+/// b.addi(Reg::R1, Reg::R0, 3);
+/// b.bind(top);
+/// b.beq(Reg::R1, Reg::R0, out);
+/// b.addi(Reg::R1, Reg::R1, -1);
+/// b.jmp(top);
+/// b.bind(out);
+/// b.halt();
+/// let prog = b.build()?;
+/// assert_eq!(prog.len(), 5);
+/// # Ok::<(), mmt_isa::asm::AsmError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Builder {
+    insts: Vec<Inst>,
+    /// For each created label: its bound instruction index, once bound.
+    labels: Vec<Option<u64>>,
+    fixups: Vec<Fixup>,
+    rebound: Option<usize>,
+}
+
+impl Builder {
+    /// Create an empty builder.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Current instruction position (the pc the next emitted instruction
+    /// will occupy).
+    pub fn here(&self) -> u64 {
+        self.insts.len() as u64
+    }
+
+    /// Create a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the current position.
+    ///
+    /// Binding the same label twice is recorded and reported as
+    /// [`AsmError::Rebound`] by [`Builder::build`].
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        let slot = &mut self.labels[label.0];
+        if slot.is_some() {
+            self.rebound.get_or_insert(label.0);
+        } else {
+            *slot = Some(self.insts.len() as u64);
+        }
+        self
+    }
+
+    fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    fn push_labeled(&mut self, inst: Inst, label: Label) -> &mut Self {
+        self.fixups.push(Fixup {
+            inst_index: self.insts.len(),
+            label,
+        });
+        self.insts.push(inst);
+        self
+    }
+
+    /// Emit an arbitrary pre-resolved instruction.
+    pub fn raw(&mut self, inst: Inst) -> &mut Self {
+        self.push(inst)
+    }
+
+    /// Emit `rd = op(rs1, rs2)`.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op, rd, rs1, rs2 })
+    }
+
+    /// Emit `rd = op(rs1, imm)`.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::AluI { op, rd, rs1, imm })
+    }
+
+    /// Emit `rd = rs1 + rs2`.
+    pub fn alu_add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs1, rs2)
+    }
+
+    /// Emit `rd = rs1 - rs2`.
+    pub fn alu_sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Sub, rd, rs1, rs2)
+    }
+
+    /// Emit `rd = rs1 * rs2` (3-cycle multiply).
+    pub fn alu_mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Mul, rd, rs1, rs2)
+    }
+
+    /// Emit `rd = rs1 ^ rs2`.
+    pub fn alu_xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Xor, rd, rs1, rs2)
+    }
+
+    /// Emit `rd = rs1 + imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::Add, rd, rs1, imm)
+    }
+
+    /// Emit `rd = rs1 & imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::And, rd, rs1, imm)
+    }
+
+    /// Emit `rd = rs1 << imm`.
+    pub fn shli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::Shl, rd, rs1, imm)
+    }
+
+    /// Emit `rd = (rs1 as i64) < imm`.
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::Slt, rd, rs1, imm)
+    }
+
+    /// Emit an FPU operation `rd = op(rs1, rs2)`.
+    pub fn fpu(&mut self, op: FpuOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Fpu { op, rd, rs1, rs2 })
+    }
+
+    /// Emit `rd = mem[base + off]`.
+    pub fn ld(&mut self, rd: Reg, base: Reg, off: i64) -> &mut Self {
+        self.push(Inst::Ld { rd, base, off })
+    }
+
+    /// Emit `mem[base + off] = src`.
+    pub fn st(&mut self, src: Reg, base: Reg, off: i64) -> &mut Self {
+        self.push(Inst::St { src, base, off })
+    }
+
+    /// Emit a conditional branch to `label`.
+    pub fn br(&mut self, cond: BrCond, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.push_labeled(
+            Inst::Br {
+                cond,
+                rs1,
+                rs2,
+                target: u64::MAX, // patched by build()
+            },
+            label,
+        )
+    }
+
+    /// Emit `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.br(BrCond::Eq, rs1, rs2, label)
+    }
+
+    /// Emit `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.br(BrCond::Ne, rs1, rs2, label)
+    }
+
+    /// Emit `blt rs1, rs2, label`.
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.br(BrCond::Lt, rs1, rs2, label)
+    }
+
+    /// Emit `bge rs1, rs2, label`.
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.br(BrCond::Ge, rs1, rs2, label)
+    }
+
+    /// Emit an unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) -> &mut Self {
+        self.push_labeled(Inst::Jmp { target: u64::MAX }, label)
+    }
+
+    /// Emit a call: `rd = return address; pc = label`.
+    pub fn jal(&mut self, rd: Reg, label: Label) -> &mut Self {
+        self.push_labeled(
+            Inst::Jal {
+                rd,
+                target: u64::MAX,
+            },
+            label,
+        )
+    }
+
+    /// Emit an indirect jump (return) through `rs`.
+    pub fn jr(&mut self, rs: Reg) -> &mut Self {
+        self.push(Inst::Jr { rs })
+    }
+
+    /// Emit `tid rd` (read hardware thread id).
+    pub fn tid(&mut self, rd: Reg) -> &mut Self {
+        self.push(Inst::Tid { rd })
+    }
+
+    /// Emit `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+
+    /// Emit `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::Nop)
+    }
+
+    /// Load a (possibly >32-bit) constant into `rd` using `addi`/`shli`/
+    /// `ori` sequences. Emits 1–5 instructions.
+    pub fn li(&mut self, rd: Reg, value: i64) -> &mut Self {
+        if (-(1 << 31)..(1 << 31)).contains(&value) {
+            return self.addi(rd, Reg::R0, value);
+        }
+        // Build in two 32-bit halves.
+        let hi = (value as u64 >> 32) as i64;
+        let lo = value as u64 & 0xffff_ffff;
+        self.addi(rd, Reg::R0, hi);
+        self.shli(rd, rd, 32);
+        // OR in the low half via two 16-bit pieces to stay in immediate range.
+        self.alui(AluOp::Or, rd, rd, (lo >> 16 << 16) as i64);
+        self.alui(AluOp::Or, rd, rd, (lo & 0xffff) as i64)
+    }
+
+    /// Resolve all labels and produce the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was never
+    /// bound, and [`AsmError::Rebound`] if a label was bound twice.
+    pub fn build(mut self) -> Result<Program, AsmError> {
+        if let Some(label) = self.rebound {
+            return Err(AsmError::Rebound { label });
+        }
+        for fixup in &self.fixups {
+            let target = self.labels[fixup.label.0].ok_or(AsmError::UnboundLabel {
+                label: fixup.label.0,
+                referenced_at: fixup.inst_index,
+            })?;
+            match &mut self.insts[fixup.inst_index] {
+                Inst::Br { target: t, .. } | Inst::Jmp { target: t } | Inst::Jal { target: t, .. } => {
+                    *t = target;
+                }
+                other => unreachable!("fixup on non-control instruction {other}"),
+            }
+        }
+        Ok(Program::from_insts(self.insts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = Builder::new();
+        let fwd = b.label();
+        let back = b.label();
+        b.bind(back);
+        b.jmp(fwd); // pc 0, forward ref
+        b.jmp(back); // pc 1, backward ref
+        b.bind(fwd);
+        b.halt(); // pc 2
+        let p = b.build().unwrap();
+        assert_eq!(p.fetch(0), Some(Inst::Jmp { target: 2 }));
+        assert_eq!(p.fetch(1), Some(Inst::Jmp { target: 0 }));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = Builder::new();
+        let l = b.label();
+        b.jmp(l);
+        let err = b.build().unwrap_err();
+        assert_eq!(
+            err,
+            AsmError::UnboundLabel {
+                label: 0,
+                referenced_at: 0
+            }
+        );
+        assert!(err.to_string().contains("never bound"));
+    }
+
+    #[test]
+    fn rebound_label_is_an_error() {
+        let mut b = Builder::new();
+        let l = b.label();
+        b.bind(l);
+        b.nop();
+        b.bind(l);
+        assert_eq!(b.build().unwrap_err(), AsmError::Rebound { label: 0 });
+    }
+
+    #[test]
+    fn unreferenced_unbound_label_is_fine() {
+        let mut b = Builder::new();
+        let _l = b.label();
+        b.halt();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut b = Builder::new();
+        assert_eq!(b.here(), 0);
+        b.nop().nop();
+        assert_eq!(b.here(), 2);
+    }
+
+    #[test]
+    fn li_small_and_large() {
+        use crate::interp::{Machine, Memory};
+        for v in [0i64, 5, -5, 1 << 20, -(1 << 20), i64::MAX, i64::MIN, 0x1234_5678_9abc_def0] {
+            let mut b = Builder::new();
+            b.li(Reg::R1, v);
+            b.halt();
+            let p = b.build().unwrap();
+            let mut mem = Memory::new(0);
+            let mut m = Machine::new(0);
+            while !m.halted() {
+                m.step(&p, &mut mem).unwrap();
+            }
+            assert_eq!(m.reg(Reg::R1) as i64, v, "li {v}");
+        }
+    }
+
+    #[test]
+    fn chaining_reads_naturally() {
+        let mut b = Builder::new();
+        b.addi(Reg::R1, Reg::R0, 1)
+            .addi(Reg::R2, Reg::R0, 2)
+            .alu_add(Reg::R3, Reg::R1, Reg::R2)
+            .halt();
+        assert_eq!(b.build().unwrap().len(), 4);
+    }
+}

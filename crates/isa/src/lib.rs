@@ -1,0 +1,81 @@
+//! # mmt-isa — the instruction set substrate for the MMT reproduction
+//!
+//! The MICRO 2010 paper *Minimal Multi-Threading* evaluates its
+//! micro-architecture on a SimpleScalar-derived simulator running
+//! Alpha/MIPS binaries. This crate provides the equivalent substrate built
+//! from scratch: a small load/store RISC instruction set, an assembler DSL
+//! for writing workloads, and a deterministic functional interpreter that
+//! serves as the value oracle for the cycle-level timing model in
+//! `mmt-sim`.
+//!
+//! The ISA is deliberately minimal — the MMT mechanisms (shared fetch,
+//! register-sharing-driven instruction splitting, load-value-identical
+//! prediction, register merging) are ISA-agnostic; all they require is a
+//! RISC-like register machine with branches, loads and stores.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use mmt_isa::{asm::Builder, interp::{Machine, Memory}, Reg};
+//!
+//! // Sum the first 10 integers.
+//! let mut b = Builder::new();
+//! let (loop_top, done) = (b.label(), b.label());
+//! b.addi(Reg::R1, Reg::R0, 10); // counter
+//! b.addi(Reg::R2, Reg::R0, 0);  // accumulator
+//! b.bind(loop_top);
+//! b.beq(Reg::R1, Reg::R0, done);
+//! b.alu_add(Reg::R2, Reg::R2, Reg::R1);
+//! b.addi(Reg::R1, Reg::R1, -1);
+//! b.jmp(loop_top);
+//! b.bind(done);
+//! b.halt();
+//! let prog = b.build().expect("labels resolved");
+//!
+//! let mut mem = Memory::new(0);
+//! let mut m = Machine::new(0);
+//! while !m.halted() {
+//!     m.step(&prog, &mut mem).expect("in bounds");
+//! }
+//! assert_eq!(m.reg(Reg::R2), 55);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod inst;
+pub mod interp;
+pub mod parse;
+pub mod program;
+pub mod reg;
+pub mod trace;
+
+pub use inst::{AluOp, BrCond, FpuOp, Inst, OpClass};
+pub use program::Program;
+pub use reg::Reg;
+pub use trace::TraceRecord;
+
+/// Maximum number of hardware thread contexts the toolchain is sized for.
+///
+/// The paper's MMT design uses a 4-bit Instruction Thread ID, i.e. up to
+/// four hardware threads. All ITID masks in `mmt-sim` are `u8` bitmasks
+/// whose low `MAX_THREADS` bits may be set.
+pub const MAX_THREADS: usize = 4;
+
+/// How the threads of a workload relate to data memory — the paper's
+/// fundamental workload split (Section 3.1).
+///
+/// * Multi-threaded programs share one memory: a load from the same
+///   virtual address in two threads always returns the same value (absent
+///   an intervening store), so execute-identical loads may truly execute
+///   once (Table 2: "Ld/St MT: No Change").
+/// * Multi-execution workloads are separate processes: identical virtual
+///   addresses may hold different values, so merged loads must be split
+///   in the load/store queue and their values verified (the LVIP path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSharing {
+    /// Multi-threaded: one memory shared by every thread.
+    Shared,
+    /// Multi-execution: one private memory per thread (process).
+    PerThread,
+}

@@ -1,0 +1,444 @@
+//! Textual assembler.
+//!
+//! [`parse`] accepts the same syntax the disassembler
+//! ([`crate::Program`]'s `Display`) produces, plus conveniences for
+//! hand-written files: comments (`;` or `#` to end of line), optional
+//! `label:` definitions, symbolic label references in branch/jump
+//! targets, and optional leading `N:` address annotations (ignored).
+//!
+//! ```
+//! use mmt_isa::parse::parse;
+//! let program = parse(r"
+//!     ; sum 1..=3
+//!         addi r1, r0, 3
+//!         addi r2, r0, 0
+//!     top:
+//!         beq  r1, r0, done
+//!         add  r2, r2, r1
+//!         addi r1, r1, -1
+//!         jmp  top
+//!     done:
+//!         halt
+//! ")?;
+//! assert_eq!(program.len(), 7);
+//! # Ok::<(), mmt_isa::parse::ParseError>(())
+//! ```
+//!
+//! Round-trip guarantee: for any program `p`,
+//! `parse(&p.to_string()).unwrap() == p` (property-tested).
+
+use crate::inst::{AluOp, BrCond, FpuOp, Inst};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Assembly-text parsing error, with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// A not-yet-resolved control-flow target.
+#[derive(Debug, Clone)]
+enum Target {
+    Absolute(u64),
+    Label(String),
+}
+
+/// Parse assembly text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the offending line for unknown mnemonics,
+/// malformed operands, duplicate label definitions, or references to
+/// undefined labels.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let mut insts: Vec<Inst> = Vec::new();
+    let mut labels: HashMap<String, u64> = HashMap::new();
+    // (instruction index, target, source line) awaiting resolution.
+    let mut fixups: Vec<(usize, Target, usize)> = Vec::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let mut line = raw;
+        if let Some(p) = line.find([';', '#']) {
+            line = &line[..p];
+        }
+        let mut line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Optional leading "N:" address annotation (disassembly format) or
+        // "name:" label definition; both end with ':'.
+        while let Some(colon) = line.find(':') {
+            let head = line[..colon].trim();
+            if head.chars().all(|c| c.is_ascii_digit()) && !head.is_empty() {
+                // Address annotation — ignored.
+            } else if is_identifier(head) {
+                let previous = labels.insert(head.to_string(), insts.len() as u64);
+                if previous.is_some() {
+                    return Err(err(lineno, format!("label '{head}' defined twice")));
+                }
+            } else {
+                return Err(err(lineno, format!("bad label '{head}'")));
+            }
+            line = line[colon + 1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+
+        let (mnemonic, rest) = match line.find(char::is_whitespace) {
+            Some(p) => (&line[..p], line[p..].trim()),
+            None => (line, ""),
+        };
+        let operands: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let inst = parse_inst(mnemonic, &operands, lineno, insts.len(), &mut fixups)?;
+        insts.push(inst);
+    }
+
+    // Resolve symbolic targets.
+    for (at, target, lineno) in fixups {
+        let resolved = match target {
+            Target::Absolute(pc) => pc,
+            Target::Label(name) => *labels
+                .get(&name)
+                .ok_or_else(|| err(lineno, format!("undefined label '{name}'")))?,
+        };
+        match &mut insts[at] {
+            Inst::Br { target, .. } | Inst::Jmp { target } | Inst::Jal { target, .. } => {
+                *target = resolved;
+            }
+            other => unreachable!("fixup on non-control instruction {other}"),
+        }
+    }
+    Ok(Program::from_insts(insts))
+}
+
+fn is_identifier(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, ParseError> {
+    match s {
+        "sp" => return Ok(Reg::Sp),
+        "ra" => return Ok(Reg::Ra),
+        _ => {}
+    }
+    let n: usize = s
+        .strip_prefix('r')
+        .and_then(|d| d.parse().ok())
+        .ok_or_else(|| err(line, format!("bad register '{s}'")))?;
+    Reg::from_index(n).ok_or_else(|| err(line, format!("register index {n} out of range")))
+}
+
+fn parse_imm(s: &str, line: usize) -> Result<i64, ParseError> {
+    s.parse()
+        .map_err(|_| err(line, format!("bad immediate '{s}'")))
+}
+
+/// `off(base)` memory operand.
+fn parse_mem(s: &str, line: usize) -> Result<(i64, Reg), ParseError> {
+    let open = s
+        .find('(')
+        .ok_or_else(|| err(line, format!("bad memory operand '{s}' (want off(base))")))?;
+    let close = s
+        .strip_suffix(')')
+        .ok_or_else(|| err(line, format!("unclosed memory operand '{s}'")))?;
+    let off = parse_imm(s[..open].trim(), line)?;
+    let base = parse_reg(close[open + 1..].trim(), line)?;
+    Ok((off, base))
+}
+
+fn parse_target(s: &str, line: usize) -> Result<Target, ParseError> {
+    if let Some(abs) = s.strip_prefix('@') {
+        return Ok(Target::Absolute(
+            abs.parse()
+                .map_err(|_| err(line, format!("bad absolute target '{s}'")))?,
+        ));
+    }
+    if is_identifier(s) {
+        return Ok(Target::Label(s.to_string()));
+    }
+    Err(err(line, format!("bad branch target '{s}'")))
+}
+
+fn expect_operands(
+    operands: &[&str],
+    n: usize,
+    mnemonic: &str,
+    line: usize,
+) -> Result<(), ParseError> {
+    if operands.len() == n {
+        Ok(())
+    } else {
+        Err(err(
+            line,
+            format!("{mnemonic} takes {n} operand(s), got {}", operands.len()),
+        ))
+    }
+}
+
+fn parse_inst(
+    mnemonic: &str,
+    operands: &[&str],
+    line: usize,
+    at: usize,
+    fixups: &mut Vec<(usize, Target, usize)>,
+) -> Result<Inst, ParseError> {
+    let alu = |name: &str| -> Option<AluOp> {
+        Some(match name {
+            "add" => AluOp::Add,
+            "sub" => AluOp::Sub,
+            "and" => AluOp::And,
+            "or" => AluOp::Or,
+            "xor" => AluOp::Xor,
+            "shl" => AluOp::Shl,
+            "shr" => AluOp::Shr,
+            "slt" => AluOp::Slt,
+            "mul" => AluOp::Mul,
+            "div" => AluOp::Div,
+            _ => return None,
+        })
+    };
+    let fpu = |name: &str| -> Option<FpuOp> {
+        Some(match name {
+            "fadd" => FpuOp::Fadd,
+            "fmul" => FpuOp::Fmul,
+            "fdiv" => FpuOp::Fdiv,
+            "fsqrt" => FpuOp::Fsqrt,
+            _ => return None,
+        })
+    };
+    let cond = |name: &str| -> Option<BrCond> {
+        Some(match name {
+            "beq" => BrCond::Eq,
+            "bne" => BrCond::Ne,
+            "blt" => BrCond::Lt,
+            "bge" => BrCond::Ge,
+            _ => return None,
+        })
+    };
+
+    // Register-immediate forms end in 'i' (addi, xori, ...).
+    if let Some(op) = mnemonic.strip_suffix('i').and_then(alu) {
+        expect_operands(operands, 3, mnemonic, line)?;
+        return Ok(Inst::AluI {
+            op,
+            rd: parse_reg(operands[0], line)?,
+            rs1: parse_reg(operands[1], line)?,
+            imm: parse_imm(operands[2], line)?,
+        });
+    }
+    if let Some(op) = alu(mnemonic) {
+        expect_operands(operands, 3, mnemonic, line)?;
+        return Ok(Inst::Alu {
+            op,
+            rd: parse_reg(operands[0], line)?,
+            rs1: parse_reg(operands[1], line)?,
+            rs2: parse_reg(operands[2], line)?,
+        });
+    }
+    if let Some(op) = fpu(mnemonic) {
+        expect_operands(operands, 3, mnemonic, line)?;
+        return Ok(Inst::Fpu {
+            op,
+            rd: parse_reg(operands[0], line)?,
+            rs1: parse_reg(operands[1], line)?,
+            rs2: parse_reg(operands[2], line)?,
+        });
+    }
+    if let Some(c) = cond(mnemonic) {
+        expect_operands(operands, 3, mnemonic, line)?;
+        fixups.push((at, parse_target(operands[2], line)?, line));
+        return Ok(Inst::Br {
+            cond: c,
+            rs1: parse_reg(operands[0], line)?,
+            rs2: parse_reg(operands[1], line)?,
+            target: u64::MAX,
+        });
+    }
+    match mnemonic {
+        "ld" => {
+            expect_operands(operands, 2, mnemonic, line)?;
+            let (off, base) = parse_mem(operands[1], line)?;
+            Ok(Inst::Ld {
+                rd: parse_reg(operands[0], line)?,
+                base,
+                off,
+            })
+        }
+        "st" => {
+            expect_operands(operands, 2, mnemonic, line)?;
+            let (off, base) = parse_mem(operands[1], line)?;
+            Ok(Inst::St {
+                src: parse_reg(operands[0], line)?,
+                base,
+                off,
+            })
+        }
+        "jmp" => {
+            expect_operands(operands, 1, mnemonic, line)?;
+            fixups.push((at, parse_target(operands[0], line)?, line));
+            Ok(Inst::Jmp { target: u64::MAX })
+        }
+        "jal" => {
+            expect_operands(operands, 2, mnemonic, line)?;
+            fixups.push((at, parse_target(operands[1], line)?, line));
+            Ok(Inst::Jal {
+                rd: parse_reg(operands[0], line)?,
+                target: u64::MAX,
+            })
+        }
+        "jr" => {
+            expect_operands(operands, 1, mnemonic, line)?;
+            Ok(Inst::Jr {
+                rs: parse_reg(operands[0], line)?,
+            })
+        }
+        "tid" => {
+            expect_operands(operands, 1, mnemonic, line)?;
+            Ok(Inst::Tid {
+                rd: parse_reg(operands[0], line)?,
+            })
+        }
+        "halt" => {
+            expect_operands(operands, 0, mnemonic, line)?;
+            Ok(Inst::Halt)
+        }
+        "nop" => {
+            expect_operands(operands, 0, mnemonic, line)?;
+            Ok(Inst::Nop)
+        }
+        other => Err(err(line, format!("unknown mnemonic '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Builder;
+    use crate::interp::{Machine, Memory};
+
+    #[test]
+    fn parses_every_mnemonic() {
+        let src = r"
+            add  r1, r2, r3
+            subi r4, r5, -7
+            fadd r6, r7, r8
+            fsqrt r9, r10, r0
+            ld   r11, 4(sp)
+            st   r12, -2(r13)
+            beq  r1, r2, @0
+            bne  r1, r2, @1
+            blt  r1, r2, @2
+            bge  r1, r2, @3
+            jmp  @0
+            jal  ra, @0
+            jr   ra
+            tid  r14
+            halt
+            nop
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.len(), 16);
+        assert_eq!(p.fetch(4), Some(Inst::Ld { rd: Reg::R11, base: Reg::Sp, off: 4 }));
+    }
+
+    #[test]
+    fn labels_and_comments() {
+        let src = r"
+            ; compute 10 + 20
+            start:
+                addi r1, r0, 10   # ten
+                addi r2, r0, 20
+                add  r3, r1, r2
+                beq  r3, r3, out
+                jmp  start
+            out: halt
+        ";
+        let p = parse(src).unwrap();
+        let mut mem = Memory::new(0);
+        let mut m = Machine::new(0);
+        m.run(&p, &mut mem, 100).unwrap();
+        assert!(m.halted());
+        assert_eq!(m.reg(Reg::R3), 30);
+    }
+
+    #[test]
+    fn round_trips_disassembly() {
+        let mut b = Builder::new();
+        let (top, out) = (b.label(), b.label());
+        b.li(Reg::R1, 1 << 40);
+        b.tid(Reg::R2);
+        b.bind(top);
+        b.beq(Reg::R2, Reg::R0, out);
+        b.fpu(FpuOp::Fmul, Reg::R3, Reg::R1, Reg::R2);
+        b.ld(Reg::R4, Reg::Sp, -3);
+        b.st(Reg::R4, Reg::R1, 9);
+        b.addi(Reg::R2, Reg::R2, -1);
+        b.jmp(top);
+        b.bind(out);
+        b.jal(Reg::Ra, top);
+        b.jr(Reg::Ra);
+        b.halt();
+        let original = b.build().unwrap();
+        let reparsed = parse(&original.to_string()).unwrap();
+        assert_eq!(reparsed, original);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("nop\nfoo r1, r2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unknown mnemonic"));
+
+        let e = parse("add r1, r2\n").unwrap_err();
+        assert!(e.message.contains("takes 3 operand"));
+
+        let e = parse("ld r1, r2\n").unwrap_err();
+        assert!(e.message.contains("memory operand"));
+
+        let e = parse("jmp nowhere\n").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+
+        let e = parse("x: nop\nx: halt\n").unwrap_err();
+        assert!(e.message.contains("defined twice"));
+
+        let e = parse("add r99, r0, r0\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn double_label_on_one_line() {
+        let p = parse("a: b: halt\njmp a\njmp b\n").unwrap();
+        assert_eq!(p.fetch(1), Some(Inst::Jmp { target: 0 }));
+        assert_eq!(p.fetch(2), Some(Inst::Jmp { target: 0 }));
+    }
+}

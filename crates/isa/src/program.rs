@@ -1,0 +1,103 @@
+//! Program container.
+
+use crate::inst::Inst;
+use std::fmt;
+
+/// An immutable, fully-resolved program: a flat sequence of instructions
+/// addressed by instruction index (the "PC" used throughout the
+/// toolchain).
+///
+/// Programs are produced by [`crate::asm::Builder`] and shared read-only
+/// between all thread contexts of a simulation — exactly the situation the
+/// paper's shared-fetch optimization exploits.
+///
+/// # Examples
+///
+/// ```
+/// use mmt_isa::{asm::Builder, Reg};
+/// let mut b = Builder::new();
+/// b.addi(Reg::R1, Reg::R0, 1);
+/// b.halt();
+/// let prog = b.build()?;
+/// assert_eq!(prog.len(), 2);
+/// assert!(prog.fetch(0).is_some());
+/// assert!(prog.fetch(99).is_none());
+/// # Ok::<(), mmt_isa::asm::AsmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Build a program directly from a finished instruction sequence.
+    ///
+    /// Most users should prefer [`crate::asm::Builder`], which resolves
+    /// labels; this constructor is for already-resolved sequences (e.g.
+    /// programmatically generated straight-line code).
+    pub fn from_insts(insts: Vec<Inst>) -> Program {
+        Program { insts }
+    }
+
+    /// The instruction at index `pc`, or `None` when `pc` is outside the
+    /// program (a runaway thread).
+    #[inline]
+    pub fn fetch(&self, pc: u64) -> Option<Inst> {
+        self.insts.get(pc as usize).copied()
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Iterate over `(pc, instruction)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Inst)> + '_ {
+        self.insts.iter().enumerate().map(|(i, &x)| (i as u64, x))
+    }
+
+    /// The raw instruction slice.
+    pub fn as_slice(&self) -> &[Inst] {
+        &self.insts
+    }
+}
+
+impl fmt::Display for Program {
+    /// A full disassembly listing, one instruction per line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pc, inst) in self.iter() {
+            writeln!(f, "{pc:5}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    #[test]
+    fn fetch_bounds() {
+        let p = Program::from_insts(vec![Inst::Nop, Inst::Halt]);
+        assert_eq!(p.fetch(0), Some(Inst::Nop));
+        assert_eq!(p.fetch(1), Some(Inst::Halt));
+        assert_eq!(p.fetch(2), None);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert!(Program::from_insts(vec![]).is_empty());
+    }
+
+    #[test]
+    fn disassembly_lists_every_instruction() {
+        let p = Program::from_insts(vec![Inst::Nop, Inst::Halt]);
+        let text = p.to_string();
+        assert!(text.contains("0: nop"));
+        assert!(text.contains("1: halt"));
+    }
+}

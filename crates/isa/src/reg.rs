@@ -1,0 +1,148 @@
+//! Architected registers.
+//!
+//! The machine has 32 general-purpose 64-bit registers. `R0` is hardwired
+//! to zero, as in MIPS/RISC-V: writes to it are discarded and reads always
+//! return `0`. The paper's Register Sharing Table tracks sharing for every
+//! architected register; keeping the file small (32 entries) keeps that
+//! table's state compact without changing any behaviour under study.
+
+use std::fmt;
+
+/// An architected register name (`r0`–`r31`).
+///
+/// `Reg` is a dense index type: [`Reg::index`] returns `0..32`, which the
+/// simulator uses to index its Register Alias Table and Register Sharing
+/// Table directly.
+///
+/// # Examples
+///
+/// ```
+/// use mmt_isa::Reg;
+/// assert_eq!(Reg::R5.index(), 5);
+/// assert_eq!(Reg::from_index(5), Some(Reg::R5));
+/// assert_eq!(Reg::R5.to_string(), "r5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)] // the variants are self-describing register names
+pub enum Reg {
+    R0 = 0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+    R16,
+    R17,
+    R18,
+    R19,
+    R20,
+    R21,
+    R22,
+    R23,
+    R24,
+    R25,
+    R26,
+    R27,
+    R28,
+    R29,
+    /// Conventionally the stack pointer in generated workloads. Only a
+    /// convention — the hardware treats it like any other register, but the
+    /// paper's observation that multi-threaded programs start with all
+    /// registers identical *except the stack pointer* maps onto this name.
+    Sp,
+    /// Conventionally the link register written by `jal`.
+    Ra,
+}
+
+/// Number of architected registers.
+pub const NUM_REGS: usize = 32;
+
+impl Reg {
+    /// Dense index of this register in `0..NUM_REGS`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The register with the given dense index, or `None` if out of range.
+    #[inline]
+    pub const fn from_index(i: usize) -> Option<Reg> {
+        if i < NUM_REGS {
+            // SAFETY: Reg is repr(u8) with contiguous discriminants 0..32.
+            Some(unsafe { std::mem::transmute::<u8, Reg>(i as u8) })
+        } else {
+            None
+        }
+    }
+
+    /// Whether this is the hardwired-zero register.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        matches!(self, Reg::R0)
+    }
+
+    /// Iterator over all architected registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS).map(|i| Reg::from_index(i).expect("index in range"))
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Sp => write!(f, "sp"),
+            Reg::Ra => write!(f, "ra"),
+            r => write!(f, "r{}", r.index()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..NUM_REGS {
+            let r = Reg::from_index(i).unwrap();
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(Reg::from_index(NUM_REGS), None);
+        assert_eq!(Reg::from_index(usize::MAX), None);
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::R0.is_zero());
+        assert!(!Reg::R1.is_zero());
+        assert!(!Reg::Sp.is_zero());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R17.to_string(), "r17");
+        assert_eq!(Reg::Sp.to_string(), "sp");
+        assert_eq!(Reg::Ra.to_string(), "ra");
+    }
+
+    #[test]
+    fn all_yields_every_register_once() {
+        let v: Vec<Reg> = Reg::all().collect();
+        assert_eq!(v.len(), NUM_REGS);
+        assert_eq!(v[0], Reg::R0);
+        assert_eq!(v[30], Reg::Sp);
+        assert_eq!(v[31], Reg::Ra);
+    }
+}

@@ -1,0 +1,156 @@
+//! Compact per-instruction trace records for offline analysis.
+//!
+//! The profiler (`mmt-profile`) reproduces the paper's Figure 1 and
+//! Figure 2 from *functional* traces, independently of the timing model.
+//! [`TraceRecord`] is the unit of those traces: enough to classify an
+//! instruction pair from two threads as fetch-identical (same PC, same
+//! instruction) or execute-identical (also same operand values), and to
+//! count taken branches for divergence-length histograms.
+
+use crate::inst::Inst;
+use crate::interp::StepInfo;
+
+/// One dynamic instruction in a thread's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// PC of the instruction.
+    pub pc: u64,
+    /// The static instruction.
+    pub inst: Inst,
+    /// Operand values (first `num_srcs` entries valid).
+    pub src_vals: [u64; 2],
+    /// Number of valid operand values.
+    pub num_srcs: u8,
+    /// Loaded value, for loads (distinguishes the multi-execution case
+    /// where identical addresses may load different values).
+    pub loaded: Option<u64>,
+    /// `Some(target)` when this instruction was a *taken* branch or a
+    /// jump — the events the Fetch History Buffer records.
+    pub taken_target: Option<u64>,
+}
+
+impl TraceRecord {
+    /// Build a record from an interpreter step.
+    pub fn from_step(info: &StepInfo) -> TraceRecord {
+        let taken_target = if info.redirects() {
+            info.control_target
+        } else {
+            None
+        };
+        TraceRecord {
+            pc: info.pc,
+            inst: info.inst,
+            src_vals: info.src_vals,
+            num_srcs: info.num_srcs,
+            loaded: info.loaded,
+            taken_target,
+        }
+    }
+
+    /// The valid operand values.
+    pub fn srcs(&self) -> &[u64] {
+        &self.src_vals[..self.num_srcs as usize]
+    }
+
+    /// Fetch-identical test: same PC fetches the same static instruction,
+    /// so PC equality is the whole test within one shared program.
+    pub fn fetch_identical(&self, other: &TraceRecord) -> bool {
+        self.pc == other.pc && self.inst == other.inst
+    }
+
+    /// Execute-identical test: fetch-identical *and* identical operand
+    /// values, *and* (for loads) identical loaded values — the paper's
+    /// criterion for instructions that could have executed once.
+    pub fn execute_identical(&self, other: &TraceRecord) -> bool {
+        self.fetch_identical(other) && self.srcs() == other.srcs() && self.loaded == other.loaded
+    }
+}
+
+impl From<StepInfo> for TraceRecord {
+    fn from(info: StepInfo) -> TraceRecord {
+        TraceRecord::from_step(&info)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Builder;
+    use crate::interp::{Machine, Memory};
+    use crate::reg::Reg;
+
+    fn trace(tid: usize, seed_value: u64) -> Vec<TraceRecord> {
+        // Same program for every thread (the SPMD premise); the input
+        // value differs only in memory, as in a multi-execution workload.
+        let mut b = Builder::new();
+        b.ld(Reg::R1, Reg::R0, 0);
+        b.alu_add(Reg::R2, Reg::R1, Reg::R1);
+        b.halt();
+        let prog = b.build().unwrap();
+        let mut mem = Memory::new(tid);
+        mem.store(0, seed_value).unwrap();
+        let mut m = Machine::new(tid);
+        let mut out = Vec::new();
+        while !m.halted() {
+            out.push(TraceRecord::from(m.step(&prog, &mut mem).unwrap()));
+        }
+        out
+    }
+
+    #[test]
+    fn identical_threads_are_execute_identical() {
+        let (a, b) = (trace(0, 5), trace(1, 5));
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.fetch_identical(y));
+            assert!(x.execute_identical(y));
+        }
+    }
+
+    #[test]
+    fn different_inputs_are_fetch_but_not_execute_identical() {
+        let (a, b) = (trace(0, 5), trace(1, 6));
+        // Same program => fetch identical everywhere.
+        assert!(a.iter().zip(&b).all(|(x, y)| x.fetch_identical(y)));
+        // The dependent add has different operands.
+        assert!(!a[1].execute_identical(&b[1]));
+    }
+
+    #[test]
+    fn taken_target_recorded_only_for_redirects() {
+        let mut b = Builder::new();
+        let l = b.label();
+        b.addi(Reg::R1, Reg::R0, 1);
+        b.beq(Reg::R1, Reg::R0, l); // not taken
+        b.jmp(l); // redirect
+        b.bind(l);
+        b.halt();
+        let prog = b.build().unwrap();
+        let mut mem = Memory::new(0);
+        let mut m = Machine::new(0);
+        let r1 = TraceRecord::from(m.step(&prog, &mut mem).unwrap());
+        let r2 = TraceRecord::from(m.step(&prog, &mut mem).unwrap());
+        let r3 = TraceRecord::from(m.step(&prog, &mut mem).unwrap());
+        assert_eq!(r1.taken_target, None);
+        assert_eq!(r2.taken_target, None); // not-taken branch
+        assert_eq!(r3.taken_target, Some(3)); // jump
+    }
+
+    #[test]
+    fn loads_with_different_values_not_execute_identical() {
+        let mut b = Builder::new();
+        b.ld(Reg::R1, Reg::R0, 10);
+        b.halt();
+        let prog = b.build().unwrap();
+        let mut recs = Vec::new();
+        for tid in 0..2 {
+            let mut mem = Memory::new(tid);
+            mem.store(10, 100 + tid as u64).unwrap();
+            let mut m = Machine::new(tid);
+            recs.push(TraceRecord::from(m.step(&prog, &mut mem).unwrap()));
+        }
+        assert!(recs[0].fetch_identical(&recs[1]));
+        // Same address (operands equal) but different loaded values:
+        assert_eq!(recs[0].srcs(), recs[1].srcs());
+        assert!(!recs[0].execute_identical(&recs[1]));
+    }
+}

@@ -1,0 +1,154 @@
+//! Miss Status Holding Registers.
+//!
+//! MSHRs bound how many cache misses can be outstanding at once. The paper
+//! scales MSHRs with load/store ports in the Figure 7(b) sensitivity sweep
+//! ("when the number of load/store ports increases, we also increase the
+//! number of MSHRs accordingly"), so the model must make memory bandwidth
+//! a real constraint: when every MSHR is busy, a new miss waits for the
+//! oldest outstanding one to complete.
+
+/// A fixed-capacity MSHR file tracking outstanding-miss completion times.
+///
+/// # Examples
+///
+/// ```
+/// use mmt_mem::MshrFile;
+/// let mut m = MshrFile::new(1); // one outstanding miss at a time
+/// let first = m.issue(0, 100); // completes at 100
+/// let second = m.issue(0, 100); // must wait for the first
+/// assert_eq!(first, 100);
+/// assert_eq!(second, 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    /// Completion cycles of in-flight misses (unsorted; small).
+    in_flight: Vec<u64>,
+    /// Total misses that had to wait for a free MSHR.
+    stalled: u64,
+    issued: u64,
+}
+
+impl MshrFile {
+    /// Create a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a core always has at least one MSHR.
+    pub fn new(capacity: usize) -> MshrFile {
+        assert!(capacity > 0, "MSHR capacity must be non-zero");
+        MshrFile {
+            capacity,
+            in_flight: Vec::with_capacity(capacity),
+            stalled: 0,
+            issued: 0,
+        }
+    }
+
+    /// Issue a miss at cycle `now` that needs `service` cycles of memory
+    /// work; returns the cycle at which it completes, accounting for MSHR
+    /// availability.
+    pub fn issue(&mut self, now: u64, service: u64) -> u64 {
+        self.issued += 1;
+        // Retire completed misses.
+        self.in_flight.retain(|&t| t > now);
+        let start = if self.in_flight.len() < self.capacity {
+            now
+        } else {
+            self.stalled += 1;
+            // Wait for the earliest completion, then remove it.
+            let (idx, &earliest) = self
+                .in_flight
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &t)| t)
+                .expect("file is full, hence non-empty");
+            self.in_flight.swap_remove(idx);
+            earliest
+        };
+        let done = start + service;
+        self.in_flight.push(done);
+        done
+    }
+
+    /// Number of misses currently outstanding as of cycle `now`.
+    pub fn outstanding(&self, now: u64) -> usize {
+        self.in_flight.iter().filter(|&&t| t > now).count()
+    }
+
+    /// Misses that were delayed by MSHR exhaustion.
+    pub fn stall_count(&self) -> u64 {
+        self.stalled
+    }
+
+    /// Total misses issued through this file.
+    pub fn issued_count(&self) -> u64 {
+        self.issued
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_within_capacity() {
+        let mut m = MshrFile::new(4);
+        for _ in 0..4 {
+            assert_eq!(m.issue(10, 200), 210);
+        }
+        assert_eq!(m.outstanding(10), 4);
+        assert_eq!(m.stall_count(), 0);
+    }
+
+    #[test]
+    fn serializes_past_capacity() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.issue(0, 100), 100);
+        assert_eq!(m.issue(0, 100), 100);
+        assert_eq!(m.issue(0, 100), 200, "third waits for a slot");
+        assert_eq!(m.issue(0, 100), 200, "fourth waits for the other slot");
+        assert_eq!(m.issue(0, 100), 300);
+        assert_eq!(m.stall_count(), 3);
+        assert_eq!(m.issued_count(), 5);
+    }
+
+    #[test]
+    fn completed_misses_free_slots() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.issue(0, 50), 50);
+        // At cycle 60 the previous miss has drained.
+        assert_eq!(m.issue(60, 50), 110);
+        assert_eq!(m.stall_count(), 0);
+        assert_eq!(m.outstanding(60), 1);
+        assert_eq!(m.outstanding(200), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn more_mshrs_never_slower() {
+        // Monotonicity: a bigger file completes an access pattern no later.
+        let pattern: Vec<(u64, u64)> = (0..32).map(|i| (i, 200)).collect();
+        let mut last_total = u64::MAX;
+        for cap in [1usize, 2, 4, 8, 16] {
+            let mut m = MshrFile::new(cap);
+            let total = pattern
+                .iter()
+                .map(|&(now, svc)| m.issue(now, svc))
+                .max()
+                .unwrap();
+            assert!(total <= last_total, "cap {cap} slower than smaller file");
+            last_total = total;
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Functional trace collection.
+
+use mmt_isa::interp::{ExecError, Machine, Memory};
+use mmt_isa::{Program, TraceRecord};
+
+/// Run thread `tid` of `program` against `memory` to completion (or
+/// `max_steps`), returning its dynamic-instruction trace.
+///
+/// # Errors
+///
+/// Propagates interpreter faults ([`ExecError`]); hitting `max_steps`
+/// without `halt` is not an error — the truncated trace is returned (the
+/// aligner treats both traces symmetrically).
+pub fn collect_trace(
+    program: &Program,
+    memory: &mut Memory,
+    tid: usize,
+    max_steps: u64,
+) -> Result<Vec<TraceRecord>, ExecError> {
+    let mut machine = Machine::new(tid);
+    let mut out = Vec::new();
+    while !machine.halted() && (out.len() as u64) < max_steps {
+        let info = machine.step(program, memory)?;
+        out.push(TraceRecord::from_step(&info));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_isa::asm::Builder;
+    use mmt_isa::Reg;
+
+    #[test]
+    fn collects_full_trace() {
+        let mut b = Builder::new();
+        b.addi(Reg::R1, Reg::R0, 2);
+        b.alu_add(Reg::R2, Reg::R1, Reg::R1);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = Memory::new(0);
+        let t = collect_trace(&p, &mut mem, 0, 1000).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].pc, 0);
+        assert_eq!(t[2].pc, 2);
+    }
+
+    #[test]
+    fn truncates_at_max_steps() {
+        let mut b = Builder::new();
+        let top = b.label();
+        b.bind(top);
+        b.jmp(top); // infinite loop
+        let p = b.build().unwrap();
+        let mut mem = Memory::new(0);
+        let t = collect_trace(&p, &mut mem, 0, 50).unwrap();
+        assert_eq!(t.len(), 50);
+    }
+}

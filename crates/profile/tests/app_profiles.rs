@@ -1,0 +1,134 @@
+//! Profile every synthetic application and check its redundancy profile
+//! against the paper's Figure 1/Figure 2 calibration bands (DESIGN.md).
+//!
+//! Run with `-- --nocapture` to see the full Figure 1-style table.
+
+use mmt_isa::MemSharing;
+use mmt_profile::{collect_trace, profile_pair, RedundancyProfile};
+use mmt_workloads::{all_apps, App};
+
+fn profile_app(app: &App, scale: u64) -> RedundancyProfile {
+    let w = app.instance(2, scale);
+    let mut mems = w.memories.clone();
+    let trace = |mems: &mut Vec<_>, t: usize| {
+        let mem = match w.sharing {
+            MemSharing::Shared => &mut mems[0],
+            MemSharing::PerThread => &mut mems[t],
+        };
+        collect_trace(&w.program, mem, t, 3_000_000).expect("no faults")
+    };
+    let a = trace(&mut mems, 0);
+    let b = trace(&mut mems, 1);
+    profile_pair(&a, &b)
+}
+
+#[test]
+fn figure1_profiles_within_calibration_bands() {
+    // (name, exe-identical band %, fetch-identical-or-better band %)
+    // Bands are deliberately loose: the paper's figure is read by eye.
+    #[allow(clippy::type_complexity)]
+    let bands: &[(&str, (f64, f64), (f64, f64))] = &[
+        ("ammp", (0.60, 0.88), (0.95, 1.0)),
+        ("equake", (0.52, 0.82), (0.95, 1.0)),
+        ("mcf", (0.25, 0.52), (0.95, 1.0)),
+        ("twolf", (0.12, 0.38), (0.92, 1.0)),
+        ("vpr", (0.12, 0.40), (0.92, 1.0)),
+        ("vortex", (0.20, 0.50), (0.92, 1.0)),
+        ("libsvm", (0.30, 0.60), (0.92, 1.0)),
+        ("lu", (0.05, 0.22), (0.95, 1.0)),
+        ("fft", (0.05, 0.22), (0.95, 1.0)),
+        ("ocean", (0.05, 0.22), (0.95, 1.0)),
+        ("water-ns", (0.32, 0.60), (0.95, 1.0)),
+        ("water-sp", (0.28, 0.58), (0.95, 1.0)),
+        ("swaptions", (0.38, 0.65), (0.95, 1.0)),
+        ("fluidanimate", (0.32, 0.62), (0.95, 1.0)),
+        ("blackscholes", (0.10, 0.38), (0.95, 1.0)),
+        ("canneal", (0.10, 0.38), (0.92, 1.0)),
+    ];
+    let apps = all_apps();
+    println!("app            exe-id%  fetch-id%  not-id%  div  <=16tb");
+    let mut failures = Vec::new();
+    for (name, exe_band, fid_band) in bands {
+        let app = apps.iter().find(|a| a.name == *name).expect("known app");
+        let p = profile_app(app, 2);
+        let (e, f, n) = p.fractions();
+        let fid_total = e + f; // fetch-identical includes execute-identical
+        println!(
+            "{name:14} {:6.1}  {:8.1}  {:7.1}  {:4} {:6.2}",
+            e * 100.0,
+            fid_total * 100.0,
+            n * 100.0,
+            p.divergences,
+            p.divergences_within(16)
+        );
+        if !(exe_band.0..=exe_band.1).contains(&e) {
+            failures.push(format!(
+                "{name}: execute-identical {:.2} outside [{:.2}, {:.2}]",
+                e, exe_band.0, exe_band.1
+            ));
+        }
+        if !(fid_band.0..=fid_band.1).contains(&fid_total) {
+            failures.push(format!(
+                "{name}: fetch-identical {:.2} outside [{:.2}, {:.2}]",
+                fid_total, fid_band.0, fid_band.1
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "calibration drift:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn figure2_most_divergences_are_short() {
+    // "For all programs except equake and vortex, more than 85% of all
+    // diverged paths have a difference in length of no more than 16
+    // taken branches."
+    for app in all_apps() {
+        let p = profile_app(&app, 4);
+        if p.divergences == 0 {
+            continue;
+        }
+        let within = p.divergences_within(16);
+        // equake and vortex are the paper's designated long-tail apps;
+        // everyone else must be short. (Whether the 6%-probability tail
+        // shows up in equake/vortex depends on the divergence sample
+        // size, so only the "short" direction is asserted.)
+        if !matches!(app.name, "equake" | "vortex") {
+            assert!(
+                within > 0.70,
+                "{} divergences should be short, got {within:.2} within 16",
+                app.name
+            );
+        }
+    }
+}
+
+#[test]
+fn average_redundancy_matches_paper_headline() {
+    // Paper Section 3.2: "About 88% of instructions, on average, can be
+    // fetched together ... approximately 35% are execute-identical."
+    let apps = all_apps();
+    let mut exe_sum = 0.0;
+    let mut fid_sum = 0.0;
+    for app in &apps {
+        let p = profile_app(app, 4);
+        let (e, f, _) = p.fractions();
+        exe_sum += e;
+        fid_sum += e + f;
+    }
+    let exe_avg = exe_sum / apps.len() as f64;
+    let fid_avg = fid_sum / apps.len() as f64;
+    println!("suite average: exe-identical {exe_avg:.3}, fetch-identical {fid_avg:.3}");
+    assert!(
+        (0.25..=0.45).contains(&exe_avg),
+        "average execute-identical should be ~0.35, got {exe_avg:.3}"
+    );
+    // Our divergence injection is much lighter than the paper's (see
+    // EXPERIMENTS.md): divergences dominate simulator *time* but touch
+    // few *instructions*, so the instruction-weighted fetch-identical
+    // average runs close to 1.0 — in the direction that *understates*
+    // MMT's shared-fetch advantage.
+    assert!(
+        fid_avg > 0.95,
+        "average fetch-identical should be high, got {fid_avg:.3}"
+    );
+}

@@ -1,0 +1,72 @@
+//! # mmt-workloads — the paper's application suite, reconstructed
+//!
+//! The MMT paper (Table 1) evaluates seven *multi-execution* programs
+//! (SPEC2000's ammp, twolf, vpr, equake, mcf, vortex plus libsvm) and
+//! nine *multi-threaded* programs (SPLASH-2's lu, fft, ocean, water-ns,
+//! water-sp plus PARSEC's swaptions, fluidanimate, blackscholes,
+//! canneal). We cannot run those binaries on a from-scratch ISA, and the
+//! paper's results do not depend on *what* the programs compute — only on
+//! each program's **redundancy profile**: how much of its instruction
+//! stream is fetch-identical across threads, how much is
+//! execute-identical, how often control flow diverges, and how long
+//! divergent paths run (paper Figures 1 and 2).
+//!
+//! This crate therefore provides one synthetic kernel per paper
+//! application, written in the `mmt-isa` assembler DSL, whose *measured*
+//! redundancy profile is calibrated to that application's published
+//! profile. Each kernel has a distinct structure (loop nests, indirect
+//! loads, call/return, detours) parameterized by [`spec::KernelSpec`]:
+//!
+//! * **shared work** — operations on loop counters and data that is
+//!   identical across threads (shared memory for MT, replicated inputs
+//!   for ME) → *execute-identical* when merged;
+//! * **private work** — operations on thread-partitioned indices or
+//!   per-process data → *fetch-identical* only;
+//! * **divergence** — per-thread flag arrays trigger detours of
+//!   controlled length and frequency → DETECT/CATCHUP behaviour and the
+//!   Figure 2 length distributions.
+//!
+//! ## Example
+//!
+//! ```
+//! use mmt_workloads::{all_apps, app_by_name};
+//! let apps = all_apps();
+//! assert_eq!(apps.len(), 16);
+//! let equake = app_by_name("equake").expect("in the suite");
+//! let w = equake.instance(2, 4); // 2 threads, 1/4 scale
+//! assert_eq!(w.memories.len(), 2); // multi-execution: one per process
+//! assert!(!w.program.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod data;
+pub mod generator;
+pub mod spec;
+
+pub use apps::{all_apps, app_by_name, App, Suite};
+pub use spec::{DivergenceProfile, KernelSpec};
+
+use mmt_isa::interp::Memory;
+use mmt_isa::{MemSharing, Program};
+
+/// A fully-instantiated workload: the shared program plus initialized
+/// memories, ready to hand to the simulator (or interpreter/profiler).
+#[derive(Debug, Clone)]
+pub struct WorkloadInstance {
+    /// Human-readable name (the paper application it stands in for).
+    pub name: String,
+    /// The program text (identical for every thread — the SPMD premise).
+    pub program: Program,
+    /// Memory model.
+    pub sharing: MemSharing,
+    /// One memory ([`MemSharing::Shared`]) or one per thread.
+    pub memories: Vec<Memory>,
+    /// Number of threads this instance was built for.
+    pub threads: usize,
+    /// Static remerge-point PCs (software hints for Thread Fusion-style
+    /// synchronization; the control-flow joins after divergent
+    /// branches).
+    pub remerge_hints: Vec<u64>,
+}

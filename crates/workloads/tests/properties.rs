@@ -1,0 +1,120 @@
+//! Property-based tests for workload generation: every valid spec yields
+//! a program in which all threads terminate, with deterministic inputs,
+//! and SPMD-consistent common state.
+
+use mmt_isa::interp::Machine;
+use mmt_isa::MemSharing;
+use mmt_workloads::generator::{generate, R_CACC, R_K};
+use mmt_workloads::{data, DivergenceProfile, KernelSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = KernelSpec> {
+    (
+        (
+            any::<bool>(), // sharing
+            1usize..6,     // common_alu
+            0usize..3,     // common_fpu
+            0usize..3,     // common_loads
+            0usize..6,     // private_alu
+            0usize..3,     // private_loads
+            0usize..2,     // stores
+            prop::sample::select(vec![0u64, 2, 5, 9]), // divergence_inv
+        ),
+        (
+            any::<bool>(), // partitioned (MT only)
+            any::<bool>(), // calls
+            0u8..=100,     // me_ident (ME only)
+            any::<bool>(), // pointer_chase
+            1i64..4,       // inner_iters
+            1usize..4,     // unroll
+            any::<u64>(),  // seed
+        ),
+    )
+        .prop_map(
+            |((mt, ca, cf, cl, pa, pl, st, div), (part, calls, me, chase, inner, unroll, seed))| {
+                let sharing = if mt { MemSharing::Shared } else { MemSharing::PerThread };
+                KernelSpec {
+                    sharing,
+                    iters: 6,
+                    common_alu: ca,
+                    common_fpu: cf,
+                    common_loads: cl,
+                    private_alu: pa,
+                    private_loads: pl,
+                    stores: st,
+                    divergence_inv: div,
+                    divergence: DivergenceProfile::Short,
+                    index_partitioned: part && sharing == MemSharing::Shared,
+                    calls,
+                    me_ident_pct: if sharing == MemSharing::PerThread { me } else { 0 },
+                    pointer_chase: chase,
+                    ws_words: 256,
+                    inner_iters: inner,
+                    unroll,
+                    barrier_every: 0,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_valid_spec_terminates_for_all_threads(spec in arb_spec()) {
+        prop_assert!(spec.validate().is_ok());
+        let threads = 2;
+        let prog = generate(&spec, threads, spec.iters);
+        let mut mems = data::build_memories(&spec, threads, false);
+        for t in 0..threads {
+            let mem = match spec.sharing {
+                MemSharing::Shared => &mut mems[0],
+                MemSharing::PerThread => &mut mems[t],
+            };
+            let mut m = Machine::new(t);
+            m.run(&prog, mem, 5_000_000).expect("no faults");
+            prop_assert!(m.halted(), "thread {t} did not halt");
+            prop_assert!(m.retired() > 0);
+        }
+    }
+
+    #[test]
+    fn common_counter_is_identical_across_threads(spec in arb_spec()) {
+        let threads = 2;
+        let prog = generate(&spec, threads, spec.iters);
+        let mut mems = data::build_memories(&spec, threads, false);
+        let mut ks = Vec::new();
+        let mut caccs = Vec::new();
+        for t in 0..threads {
+            let mem = match spec.sharing {
+                MemSharing::Shared => &mut mems[0],
+                MemSharing::PerThread => &mut mems[t],
+            };
+            let mut m = Machine::new(t);
+            m.run(&prog, mem, 5_000_000).expect("no faults");
+            ks.push(m.reg(R_K));
+            caccs.push(m.reg(R_CACC));
+        }
+        // The common counter is identical by construction.
+        prop_assert_eq!(ks[0], ks[1]);
+        // The common accumulator is identical whenever the common data is
+        // (always for MT shared loads; for non-partitioned kernels only).
+        if spec.sharing == MemSharing::Shared && !spec.index_partitioned {
+            prop_assert_eq!(caccs[0], caccs[1]);
+        }
+    }
+
+    #[test]
+    fn memory_generation_is_deterministic(spec in arb_spec()) {
+        let a = data::build_memories(&spec, 2, false);
+        let b = data::build_memories(&spec, 2, false);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            for w in 0..512u64 {
+                let addr = mmt_workloads::spec::layout::SHARED_BASE as u64 + w;
+                prop_assert_eq!(x.load(addr).unwrap(), y.load(addr).unwrap());
+            }
+        }
+    }
+}

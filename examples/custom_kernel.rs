@@ -1,0 +1,101 @@
+//! Write your own SPMD kernel in assembly text, then watch MMT merge it.
+//!
+//! ```text
+//! cargo run --release --example custom_kernel
+//! ```
+//!
+//! The kernel below computes a polynomial over a shared table; the
+//! `tid`-guarded section gives each thread a small private detour, so the
+//! run exercises divergence, re-synchronization, and register merging.
+
+use mmt::isa::interp::Memory;
+use mmt::isa::parse::parse;
+use mmt::isa::{MemSharing, Reg};
+use mmt::sim::{MmtLevel, RunSpec, SimConfig, Simulator};
+
+const KERNEL: &str = r"
+    ; SPMD polynomial kernel: acc += 3*x^2 + x over a shared table.
+        addi r1, r0, 0       ; i
+        addi r2, r0, 2048    ; iterations
+        addi r3, r0, 4096    ; table base
+        addi r4, r0, 0       ; accumulator
+        tid  r10             ; hardware thread id
+    top:
+        bge  r1, r2, done
+        andi r5, r1, 255     ; wrap the table index
+        add  r5, r3, r5
+        ld   r6, 0(r5)       ; x (identical in both threads)
+        mul  r7, r6, r6      ; x^2
+        muli r7, r7, 3
+        add  r7, r7, r6
+        add  r4, r4, r7
+        ; every 64th iteration, thread 1 takes a short private detour
+        andi r8, r1, 63
+        bne  r8, r0, join
+        beq  r10, r0, join
+        xor  r9, r4, r1      ; private work
+        add  r9, r9, r10
+    join:
+        addi r1, r1, 1
+        jmp  top
+    done:
+        halt
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = parse(KERNEL)?;
+    println!(
+        "parsed {} instructions; disassembly of the loop head:\n",
+        program.len()
+    );
+    for (pc, inst) in program.iter().skip(5).take(5) {
+        println!("  {pc:3}: {inst}");
+    }
+
+    let mut memory = Memory::new(0);
+    for w in 0..256 {
+        memory.store(4096 + w, w * w + 1)?;
+    }
+
+    println!();
+    let mut base_cycles = 0;
+    for level in MmtLevel::ALL {
+        let spec = RunSpec {
+            program: program.clone(),
+            sharing: MemSharing::Shared,
+            memories: vec![memory.clone()],
+            threads: 2,
+        };
+        let mut cfg = SimConfig::paper_with(2, level);
+        // This loop body is only ~15 instructions, so remerges must be
+        // aligned much more precisely than the default slack (sized for
+        // the suite's several-hundred-instruction loop bodies) allows.
+        cfg.merge_alignment_slack = 8;
+        let r = Simulator::new(cfg, spec)?.run()?;
+        if level == MmtLevel::Base {
+            base_cycles = r.stats.cycles;
+        }
+        let id = &r.stats.identity;
+        println!(
+            "{:8}  cycles {:>7}  speedup {:>5.2}x  merged-exec {:>5.1}%  divergences {:>3}  (acc = {})",
+            level.name(),
+            r.stats.cycles,
+            base_cycles as f64 / r.stats.cycles as f64,
+            (id.execute_identical + id.execute_identical_regmerge) as f64
+                / id.total().max(1) as f64
+                * 100.0,
+            r.stats.divergences,
+            r.final_regs[0][Reg::R4.index()],
+        );
+    }
+    println!(
+        "\nNote: in a {}-instruction loop the 256-entry ROB holds many iterations,\n\
+         so the commit-time register-merging check (\"no younger writer in\n\
+         flight\") rarely passes and recovery after each divergence stays\n\
+         partial — the same small-loop limitation the DESIGN.md notes for the\n\
+         paper's own mechanism. The suite's kernels use loop bodies of several\n\
+         hundred instructions, where recovery chains to completion.",
+        15
+    );
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Profile any suite application the way the paper's Section 3 does:
+//! collect functional traces, align them, and report the Figure 1
+//! breakdown plus the Figure 2 divergence histogram.
+//!
+//! ```text
+//! cargo run --release --example profile_redundancy -- equake
+//! ```
+
+use mmt::isa::MemSharing;
+use mmt::profile::{collect_trace, profile_pair, DIVERGENCE_BUCKETS};
+use mmt::workloads::app_by_name;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "equake".into());
+    let app = app_by_name(&name)
+        .unwrap_or_else(|| panic!("unknown app '{name}'; see mmt::workloads::all_apps()"));
+
+    let w = app.instance(2, 2);
+    let mut mems = w.memories.clone();
+    let mut traces = Vec::new();
+    for t in 0..2 {
+        let mem = match w.sharing {
+            MemSharing::Shared => &mut mems[0],
+            MemSharing::PerThread => &mut mems[t],
+        };
+        traces.push(collect_trace(&w.program, mem, t, 10_000_000)?);
+    }
+    let p = profile_pair(&traces[0], &traces[1]);
+    let (e, f, n) = p.fractions();
+
+    println!("{name}: {} dynamic instructions per thread", p.total);
+    println!("  execute-identical {:.1}%", e * 100.0);
+    println!("  fetch-identical   {:.1}% (incl. execute-identical)", (e + f) * 100.0);
+    println!("  not identical     {:.1}%", n * 100.0);
+    println!("  divergences       {}", p.divergences);
+    println!("\ndivergent path-length differences (taken branches):");
+    for (b, c) in DIVERGENCE_BUCKETS.iter().zip(p.divergence_diff_histogram) {
+        if *b == u64::MAX {
+            println!("  >512: {c}");
+        } else {
+            println!("  <={b:>3}: {c}");
+        }
+    }
+    Ok(())
+}

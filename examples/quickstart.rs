@@ -1,0 +1,66 @@
+//! Quickstart: build a small SPMD workload, run it on a traditional SMT
+//! and on the full MMT core, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mmt::isa::{asm::Builder, interp::Memory, MemSharing, Reg};
+use mmt::sim::{MmtLevel, RunSpec, SimConfig, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny SPMD kernel: both threads sum the squares of a shared
+    // table. Every instruction has identical operands in both threads, so
+    // MMT can fetch *and* execute the whole loop once.
+    let mut b = Builder::new();
+    let (top, done) = (b.label(), b.label());
+    b.addi(Reg::R1, Reg::R0, 0); // i
+    b.addi(Reg::R2, Reg::R0, 512); // bound
+    b.addi(Reg::R3, Reg::R0, 1000); // table base
+    b.addi(Reg::R4, Reg::R0, 0); // accumulator
+    b.bind(top);
+    b.bge(Reg::R1, Reg::R2, done);
+    b.andi(Reg::R5, Reg::R1, 255);
+    b.alu_add(Reg::R5, Reg::R3, Reg::R5);
+    b.ld(Reg::R6, Reg::R5, 0);
+    b.alu_mul(Reg::R7, Reg::R6, Reg::R6);
+    b.alu_add(Reg::R4, Reg::R4, Reg::R7);
+    b.addi(Reg::R1, Reg::R1, 1);
+    b.jmp(top);
+    b.bind(done);
+    b.halt();
+    let program = b.build()?;
+
+    // Shared memory with the input table.
+    let mut memory = Memory::new(0);
+    for w in 0..256 {
+        memory.store(1000 + w, 3 * w + 1)?;
+    }
+
+    println!("running {} static instructions on 2 threads\n", program.len());
+    let mut baseline_cycles = 0;
+    for level in MmtLevel::ALL {
+        let spec = RunSpec {
+            program: program.clone(),
+            sharing: MemSharing::Shared,
+            memories: vec![memory.clone()],
+            threads: 2,
+        };
+        let result = Simulator::new(SimConfig::paper_with(2, level), spec)?.run()?;
+        if level == MmtLevel::Base {
+            baseline_cycles = result.stats.cycles;
+        }
+        let id = &result.stats.identity;
+        println!(
+            "{:8}  cycles {:>7}  speedup {:>5.2}x  executed-merged {:>5.1}%  (acc = {})",
+            level.name(),
+            result.stats.cycles,
+            baseline_cycles as f64 / result.stats.cycles as f64,
+            (id.execute_identical + id.execute_identical_regmerge) as f64 / id.total().max(1) as f64
+                * 100.0,
+            result.final_regs[0][Reg::R4.index()],
+        );
+    }
+    println!("\nMMT-FX/FXR execute each merged instruction once for both threads.");
+    Ok(())
+}

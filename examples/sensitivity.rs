@@ -1,0 +1,51 @@
+//! Sensitivity mini-sweep on one application: vary the Fetch History
+//! Buffer size (Figure 7(a)) and the fetch width (Figure 7(d)) and watch
+//! the MMT-FXR speedup respond.
+//!
+//! ```text
+//! cargo run --release --example sensitivity -- water-sp
+//! ```
+
+use mmt::sim::{MmtLevel, RunSpec, SimConfig, Simulator};
+use mmt::workloads::{app_by_name, WorkloadInstance};
+
+fn run(w: WorkloadInstance, mut cfg: SimConfig, level: MmtLevel) -> u64 {
+    cfg.level = level;
+    let spec = RunSpec {
+        program: w.program,
+        sharing: w.sharing,
+        memories: w.memories,
+        threads: w.threads,
+    };
+    Simulator::new(cfg, spec)
+        .expect("valid config")
+        .run()
+        .expect("terminates")
+        .stats
+        .cycles
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "water-sp".into());
+    let app = app_by_name(&name)
+        .unwrap_or_else(|| panic!("unknown app '{name}'; see mmt::workloads::all_apps()"));
+    let scale = 4;
+
+    println!("{name}: FHB size sweep (Figure 7(a))");
+    for fhb in [8usize, 16, 32, 64, 128] {
+        let mut cfg = SimConfig::paper_with(2, MmtLevel::Base);
+        cfg.fhb_entries = fhb;
+        let base = run(app.instance(2, scale), cfg.clone(), MmtLevel::Base);
+        let fxr = run(app.instance(2, scale), cfg, MmtLevel::Fxr);
+        println!("  {fhb:>3} entries: speedup {:.3}", base as f64 / fxr as f64);
+    }
+
+    println!("\n{name}: fetch width sweep (Figure 7(d))");
+    for width in [4usize, 8, 16, 32] {
+        let mut cfg = SimConfig::paper_with(2, MmtLevel::Base);
+        cfg.fetch_width = width;
+        let base = run(app.instance(2, scale), cfg.clone(), MmtLevel::Base);
+        let fxr = run(app.instance(2, scale), cfg, MmtLevel::Fxr);
+        println!("  {width:>2}-wide: speedup {:.3}", base as f64 / fxr as f64);
+    }
+}

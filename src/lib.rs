@@ -1,0 +1,42 @@
+//! Facade crate re-exporting the whole MMT reproduction toolchain — a
+//! from-scratch, cycle-level Rust reproduction of *Minimal
+//! Multi-Threading: Finding and Removing Redundant Instructions in
+//! Multi-Threaded Processors* (MICRO 2010).
+//!
+//! Each subsystem lives in its own crate and is re-exported here:
+//!
+//! * [`isa`] — the RISC instruction set, assembler DSL and functional
+//!   interpreter (the timing model's value oracle);
+//! * [`mem`] — L1/L2 caches, MSHRs, prefetch, DRAM latency;
+//! * [`frontend`] — branch prediction and the MERGE/DETECT/CATCHUP fetch
+//!   synchronization machinery (Fetch History Buffers);
+//! * [`sim`] — the MMT out-of-order SMT timing model itself (Register
+//!   Sharing Table, instruction splitter, LVIP, register merging);
+//! * [`energy`] — the Wattch-style event energy model;
+//! * [`workloads`] — calibrated synthetic stand-ins for the paper's 16
+//!   applications;
+//! * [`profile`] — the trace-alignment profiler behind the paper's
+//!   motivation figures.
+//!
+//! ```
+//! use mmt::sim::{MmtLevel, RunSpec, SimConfig, Simulator};
+//!
+//! let app = mmt::workloads::app_by_name("swaptions").expect("in suite");
+//! let w = app.instance(2, 32); // 2 threads, 1/32 scale
+//! let spec = RunSpec {
+//!     program: w.program,
+//!     sharing: w.sharing,
+//!     memories: w.memories,
+//!     threads: w.threads,
+//! };
+//! let r = Simulator::new(SimConfig::paper_with(2, MmtLevel::Fxr), spec)?.run()?;
+//! assert!(r.stats.cycles > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+pub use mmt_energy as energy;
+pub use mmt_frontend as frontend;
+pub use mmt_isa as isa;
+pub use mmt_mem as mem;
+pub use mmt_profile as profile;
+pub use mmt_sim as sim;
+pub use mmt_workloads as workloads;
