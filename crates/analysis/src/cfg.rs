@@ -1,0 +1,268 @@
+//! Basic-block control-flow graph construction over a [`Program`].
+//!
+//! Block boundaries follow the classic leader rules: the entry PC, every
+//! static branch/jump target, and every instruction after a control
+//! transfer (or `halt`) starts a block. Successor edges come from each
+//! block's final instruction; `jr` — whose target is dynamic — is
+//! approximated by the program's call structure: a register jump may
+//! return to the instruction after any `jal` (the only producers of code
+//! addresses in this ISA). The approximation is sound for the
+//! reducible call/return programs the workload generator emits, and it
+//! only over-approximates (extra edges, never missing ones), which is the
+//! safe direction for every client in this crate.
+
+use mmt_isa::{Inst, Program};
+
+/// A maximal straight-line run of instructions `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First PC of the block (a leader).
+    pub start: u64,
+    /// One past the last PC of the block.
+    pub end: u64,
+    /// Successor block indices, sorted and deduplicated.
+    pub succs: Vec<usize>,
+    /// Predecessor block indices, sorted and deduplicated.
+    pub preds: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// The PCs belonging to this block, in order.
+    pub fn pcs(&self) -> impl Iterator<Item = u64> {
+        self.start..self.end
+    }
+
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// A block is never empty by construction, but the predicate keeps
+    /// clippy's `len`-without-`is_empty` convention satisfied honestly.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The control-flow graph of one program.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    block_of_pc: Vec<usize>,
+    reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Build the CFG for `prog`. An empty program yields an empty graph.
+    pub fn build(prog: &Program) -> Cfg {
+        let insts = prog.as_slice();
+        let n = insts.len();
+        if n == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of_pc: Vec::new(),
+                reachable: Vec::new(),
+            };
+        }
+
+        // Leaders: entry, static targets, and fall-through points after
+        // any block-ending instruction (control flow or halt).
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (pc, inst) in insts.iter().enumerate() {
+            if (inst.is_control() || matches!(inst, Inst::Halt)) && pc + 1 < n {
+                leader[pc + 1] = true;
+            }
+            if let Some(t) = inst.static_target() {
+                if (t as usize) < n {
+                    leader[t as usize] = true;
+                }
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of_pc = vec![0usize; n];
+        let mut start = 0usize;
+        for pc in 1..=n {
+            if pc == n || leader[pc] {
+                let idx = blocks.len();
+                for slot in &mut block_of_pc[start..pc] {
+                    *slot = idx;
+                }
+                blocks.push(BasicBlock {
+                    start: start as u64,
+                    end: pc as u64,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
+                start = pc;
+            }
+        }
+
+        // `jr` approximation: every instruction after a `jal` is a
+        // possible return site.
+        let jal_returns: Vec<usize> = insts
+            .iter()
+            .enumerate()
+            .filter(|(pc, inst)| matches!(inst, Inst::Jal { .. }) && pc + 1 < n)
+            .map(|(pc, _)| block_of_pc[pc + 1])
+            .collect();
+
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (b, blk) in blocks.iter_mut().enumerate() {
+            let last_pc = blk.end as usize - 1;
+            let mut succs: Vec<usize> = Vec::new();
+            match insts[last_pc] {
+                Inst::Halt => {}
+                Inst::Jmp { target } | Inst::Jal { target, .. } => {
+                    if (target as usize) < n {
+                        succs.push(block_of_pc[target as usize]);
+                    }
+                }
+                Inst::Br { target, .. } => {
+                    if (target as usize) < n {
+                        succs.push(block_of_pc[target as usize]);
+                    }
+                    if last_pc + 1 < n {
+                        succs.push(block_of_pc[last_pc + 1]);
+                    }
+                }
+                Inst::Jr { .. } => succs.extend(jal_returns.iter().copied()),
+                _ => {
+                    if last_pc + 1 < n {
+                        succs.push(block_of_pc[last_pc + 1]);
+                    }
+                }
+            }
+            succs.sort_unstable();
+            succs.dedup();
+            edges.extend(succs.iter().map(|&s| (b, s)));
+            blk.succs = succs;
+        }
+        for (from, to) in edges {
+            blocks[to].preds.push(from);
+        }
+        for blk in &mut blocks {
+            blk.preds.sort_unstable();
+            blk.preds.dedup();
+        }
+
+        // Reachability from the entry block (block 0 contains PC 0).
+        let mut reachable = vec![false; blocks.len()];
+        let mut stack = vec![block_of_pc[0]];
+        while let Some(b) = stack.pop() {
+            if std::mem::replace(&mut reachable[b], true) {
+                continue;
+            }
+            stack.extend(blocks[b].succs.iter().copied());
+        }
+
+        Cfg {
+            blocks,
+            block_of_pc,
+            reachable,
+        }
+    }
+
+    /// All basic blocks, in program order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Index of the block containing `pc`, if `pc` is in the program.
+    pub fn block_of(&self, pc: u64) -> Option<usize> {
+        self.block_of_pc.get(pc as usize).copied()
+    }
+
+    /// Whether block `idx` is reachable from the entry.
+    pub fn is_reachable(&self, idx: usize) -> bool {
+        self.reachable[idx]
+    }
+
+    /// The entry block (contains PC 0). Panics on an empty graph.
+    pub fn entry(&self) -> usize {
+        self.block_of_pc[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_isa::asm::Builder;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = Builder::new();
+        b.addi(mmt_isa::Reg::R1, mmt_isa::Reg::R0, 1);
+        b.addi(mmt_isa::Reg::R2, mmt_isa::Reg::R1, 2);
+        b.halt();
+        let cfg = Cfg::build(&b.build().unwrap());
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.blocks()[0].start, 0);
+        assert_eq!(cfg.blocks()[0].end, 3);
+        assert!(cfg.blocks()[0].succs.is_empty());
+        assert!(cfg.is_reachable(0));
+    }
+
+    #[test]
+    fn countdown_loop_has_back_edge() {
+        use mmt_isa::Reg;
+        let mut b = Builder::new();
+        let (top, out) = (b.label(), b.label());
+        b.li(Reg::R1, 3);
+        b.bind(top);
+        b.addi(Reg::R1, Reg::R1, -1);
+        b.bne(Reg::R1, Reg::R0, top);
+        b.bind(out);
+        b.halt();
+        let cfg = Cfg::build(&b.build().unwrap());
+        let loop_blk = cfg.block_of(1).unwrap();
+        assert!(
+            cfg.blocks()[loop_blk].succs.contains(&loop_blk),
+            "branch back to its own leader is a self-loop edge"
+        );
+        assert!(cfg
+            .blocks()
+            .iter()
+            .enumerate()
+            .all(|(i, _)| cfg.is_reachable(i)));
+    }
+
+    #[test]
+    fn code_after_unconditional_jump_is_unreachable() {
+        use mmt_isa::Reg;
+        let mut b = Builder::new();
+        let out = b.label();
+        b.jmp(out);
+        b.addi(Reg::R1, Reg::R0, 9); // skipped forever
+        b.bind(out);
+        b.halt();
+        let cfg = Cfg::build(&b.build().unwrap());
+        let dead = cfg.block_of(1).unwrap();
+        assert!(!cfg.is_reachable(dead));
+        assert!(cfg.is_reachable(cfg.block_of(2).unwrap()));
+    }
+
+    #[test]
+    fn jr_connects_to_all_return_sites() {
+        use mmt_isa::Reg;
+        let mut b = Builder::new();
+        let func = b.label();
+        b.jal(Reg::Ra, func);
+        b.halt();
+        b.bind(func);
+        b.jr(Reg::Ra);
+        let cfg = Cfg::build(&b.build().unwrap());
+        let fblk = cfg.block_of(2).unwrap();
+        let ret_site = cfg.block_of(1).unwrap();
+        assert_eq!(cfg.blocks()[fblk].succs, vec![ret_site]);
+        assert!(cfg.is_reachable(ret_site));
+    }
+
+    #[test]
+    fn empty_program_builds_empty_graph() {
+        let cfg = Cfg::build(&Program::from_insts(Vec::new()));
+        assert!(cfg.blocks().is_empty());
+        assert_eq!(cfg.block_of(0), None);
+    }
+}

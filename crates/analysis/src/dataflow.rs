@@ -1,0 +1,405 @@
+//! Forward dataflow over the CFG: per-register thread-invariance,
+//! constant propagation, and definite-initialization facts.
+//!
+//! The transfer functions mirror the functional interpreter exactly
+//! (`AluOp::apply`, `FpuOp::apply`, `pc + 1` link values), so a constant
+//! the analysis derives is the value every thread's [`mmt_isa::interp::Machine`]
+//! would compute. Thread-invariance is the static half of the paper's
+//! *execute-identical* notion: a register is [`Invariance::Invariant`] at
+//! a program point only if all threads that reach that point in lockstep
+//! are guaranteed to hold equal values in it.
+
+use crate::cfg::Cfg;
+use mmt_isa::reg::NUM_REGS;
+use mmt_isa::{Inst, MemSharing, Program, Reg};
+use std::collections::VecDeque;
+
+/// Thread-invariance lattice for one register, ordered by increasing
+/// uncertainty. Joins and operand combination both take the maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Invariance {
+    /// Provably equal across all lockstep threads.
+    Invariant,
+    /// Derived from the hardware thread id — expected to differ.
+    ThreadDependent,
+    /// Unknown (e.g. loaded from per-thread memory).
+    Top,
+}
+
+impl Invariance {
+    /// Result invariance of an operation over two operands.
+    pub fn combine(self, other: Invariance) -> Invariance {
+        self.max(other)
+    }
+}
+
+/// Everything the analysis knows about one register at one point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegFact {
+    /// Thread-invariance classification.
+    pub inv: Invariance,
+    /// Known constant value, when the register provably holds one.
+    pub konst: Option<u64>,
+    /// Definitely written on every path from the entry (registers reset
+    /// to zero, so an unwritten read is suspicious, not undefined).
+    pub written: bool,
+}
+
+/// Per-register facts at a program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegState {
+    regs: [RegFact; NUM_REGS],
+}
+
+impl RegState {
+    /// State at the program entry: every register holds the reset value
+    /// zero (invariant), and only the hardwired zero register counts as
+    /// written.
+    pub fn entry() -> RegState {
+        let mut regs = [RegFact {
+            inv: Invariance::Invariant,
+            konst: Some(0),
+            written: false,
+        }; NUM_REGS];
+        regs[Reg::R0.index()].written = true;
+        RegState { regs }
+    }
+
+    /// The fact for register `r`.
+    pub fn get(&self, r: Reg) -> RegFact {
+        self.regs[r.index()]
+    }
+
+    /// Record a write. Writes to the hardwired zero register are
+    /// discarded, exactly as the interpreter discards them.
+    fn set(&mut self, r: Reg, fact: RegFact) {
+        if !r.is_zero() {
+            self.regs[r.index()] = fact;
+        }
+    }
+
+    /// Join `other` into `self` (control-flow merge). Returns whether
+    /// anything changed, for the fixpoint worklist.
+    fn join_from(&mut self, other: &RegState) -> bool {
+        let mut changed = false;
+        for (mine, theirs) in self.regs.iter_mut().zip(&other.regs) {
+            let joined = RegFact {
+                inv: mine.inv.combine(theirs.inv),
+                konst: match (mine.konst, theirs.konst) {
+                    (Some(a), Some(b)) if a == b => Some(a),
+                    _ => None,
+                },
+                written: mine.written && theirs.written,
+            };
+            if joined != *mine {
+                *mine = joined;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// Apply one instruction's effect to `state`.
+///
+/// `loads_invariant` is true when every thread loads from one shared,
+/// never-written memory — the only situation where a load's result is
+/// statically thread-invariant.
+fn transfer(state: &mut RegState, pc: u64, inst: &Inst, loads_invariant: bool) {
+    match *inst {
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            let (a, b) = (state.get(rs1), state.get(rs2));
+            state.set(
+                rd,
+                RegFact {
+                    inv: a.inv.combine(b.inv),
+                    konst: match (a.konst, b.konst) {
+                        (Some(x), Some(y)) => Some(op.apply(x, y)),
+                        _ => None,
+                    },
+                    written: true,
+                },
+            );
+        }
+        Inst::AluI { op, rd, rs1, imm } => {
+            let a = state.get(rs1);
+            state.set(
+                rd,
+                RegFact {
+                    inv: a.inv,
+                    konst: a.konst.map(|x| op.apply(x, imm as u64)),
+                    written: true,
+                },
+            );
+        }
+        Inst::Fpu { op, rd, rs1, rs2 } => {
+            let (a, b) = (state.get(rs1), state.get(rs2));
+            state.set(
+                rd,
+                RegFact {
+                    inv: a.inv.combine(b.inv),
+                    konst: match (a.konst, b.konst) {
+                        (Some(x), Some(y)) => Some(op.apply(x, y)),
+                        _ => None,
+                    },
+                    written: true,
+                },
+            );
+        }
+        Inst::Ld { rd, base, .. } => {
+            let b = state.get(base);
+            let inv = if loads_invariant {
+                b.inv
+            } else {
+                Invariance::Top
+            };
+            state.set(
+                rd,
+                RegFact {
+                    inv,
+                    konst: None,
+                    written: true,
+                },
+            );
+        }
+        Inst::Jal { rd, .. } => state.set(
+            rd,
+            RegFact {
+                inv: Invariance::Invariant,
+                konst: Some(pc + 1),
+                written: true,
+            },
+        ),
+        Inst::Tid { rd } => state.set(
+            rd,
+            RegFact {
+                inv: Invariance::ThreadDependent,
+                konst: None,
+                written: true,
+            },
+        ),
+        Inst::St { .. } | Inst::Br { .. } | Inst::Jmp { .. } | Inst::Jr { .. } => {}
+        Inst::Halt | Inst::Nop => {}
+    }
+}
+
+/// Fixpoint dataflow result: the state *before* each reachable PC.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    before: Vec<Option<RegState>>,
+    loads_invariant: bool,
+}
+
+impl Analysis {
+    /// Run the analysis over `prog` with the given CFG.
+    ///
+    /// `sharing` selects the load model: with [`MemSharing::Shared`] and
+    /// a store-free program, loads are thread-invariant whenever their
+    /// address is; any store — or per-thread memories — forces loads to
+    /// [`Invariance::Top`].
+    pub fn run(prog: &Program, cfg: &Cfg, sharing: MemSharing) -> Analysis {
+        let insts = prog.as_slice();
+        let n = insts.len();
+        let has_stores = insts.iter().any(|i| matches!(i, Inst::St { .. }));
+        let loads_invariant = sharing == MemSharing::Shared && !has_stores;
+        let mut before: Vec<Option<RegState>> = vec![None; n];
+        if n == 0 {
+            return Analysis {
+                before,
+                loads_invariant,
+            };
+        }
+
+        let nb = cfg.blocks().len();
+        let mut inb: Vec<Option<RegState>> = vec![None; nb];
+        inb[cfg.entry()] = Some(RegState::entry());
+        let mut work: VecDeque<usize> = VecDeque::from([cfg.entry()]);
+        while let Some(b) = work.pop_front() {
+            let blk = &cfg.blocks()[b];
+            let mut state = inb[b].clone().expect("worklist holds initialized blocks");
+            for pc in blk.pcs() {
+                transfer(&mut state, pc, &insts[pc as usize], loads_invariant);
+            }
+            for &succ in &blk.succs {
+                let changed = match &mut inb[succ] {
+                    Some(t) => t.join_from(&state),
+                    slot @ None => {
+                        *slot = Some(state.clone());
+                        true
+                    }
+                };
+                if changed && !work.contains(&succ) {
+                    work.push_back(succ);
+                }
+            }
+        }
+
+        for (b, blk) in cfg.blocks().iter().enumerate() {
+            let Some(mut state) = inb[b].clone() else {
+                continue;
+            };
+            for pc in blk.pcs() {
+                before[pc as usize] = Some(state.clone());
+                transfer(&mut state, pc, &insts[pc as usize], loads_invariant);
+            }
+        }
+
+        Analysis {
+            before,
+            loads_invariant,
+        }
+    }
+
+    /// The register state just before `pc`, or `None` when `pc` is
+    /// statically unreachable (or out of range).
+    pub fn before(&self, pc: u64) -> Option<&RegState> {
+        self.before.get(pc as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Whether the load model treated loads as thread-invariant.
+    pub fn loads_invariant(&self) -> bool {
+        self.loads_invariant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_isa::asm::Builder;
+    use mmt_isa::{AluOp, Reg};
+
+    fn analyze(b: Builder, sharing: MemSharing) -> (Program, Analysis) {
+        let prog = b.build().unwrap();
+        let cfg = Cfg::build(&prog);
+        let a = Analysis::run(&prog, &cfg, sharing);
+        (prog, a)
+    }
+
+    #[test]
+    fn constants_fold_through_alu_chains() {
+        let mut b = Builder::new();
+        b.addi(Reg::R1, Reg::R0, 7);
+        b.alu(AluOp::Mul, Reg::R2, Reg::R1, Reg::R1);
+        b.addi(Reg::R3, Reg::R2, 1);
+        b.halt();
+        let (_, a) = analyze(b, MemSharing::Shared);
+        let at_halt = a.before(3).unwrap();
+        assert_eq!(at_halt.get(Reg::R2).konst, Some(49));
+        assert_eq!(at_halt.get(Reg::R3).konst, Some(50));
+        assert_eq!(at_halt.get(Reg::R3).inv, Invariance::Invariant);
+        assert!(at_halt.get(Reg::R3).written);
+    }
+
+    #[test]
+    fn tid_taints_everything_it_reaches() {
+        let mut b = Builder::new();
+        b.tid(Reg::R1);
+        b.addi(Reg::R2, Reg::R1, 5);
+        b.alu_add(Reg::R3, Reg::R2, Reg::R2);
+        b.addi(Reg::R4, Reg::R0, 5); // untouched by tid
+        b.halt();
+        let (_, a) = analyze(b, MemSharing::Shared);
+        let s = a.before(4).unwrap();
+        assert_eq!(s.get(Reg::R1).inv, Invariance::ThreadDependent);
+        assert_eq!(s.get(Reg::R2).inv, Invariance::ThreadDependent);
+        assert_eq!(s.get(Reg::R3).inv, Invariance::ThreadDependent);
+        assert_eq!(s.get(Reg::R4).inv, Invariance::Invariant);
+        assert_eq!(s.get(Reg::R2).konst, None, "tid has no static value");
+    }
+
+    #[test]
+    fn writes_to_r0_are_discarded() {
+        let mut b = Builder::new();
+        b.addi(Reg::R0, Reg::R0, 9);
+        b.addi(Reg::R1, Reg::R0, 1);
+        b.halt();
+        let (_, a) = analyze(b, MemSharing::Shared);
+        let s = a.before(2).unwrap();
+        assert_eq!(s.get(Reg::R0).konst, Some(0));
+        assert_eq!(s.get(Reg::R1).konst, Some(1));
+    }
+
+    #[test]
+    fn joins_drop_disagreeing_constants_but_keep_writes() {
+        let mut b = Builder::new();
+        let (els, join) = (b.label(), b.label());
+        b.tid(Reg::R1);
+        b.beq(Reg::R1, Reg::R0, els);
+        b.addi(Reg::R2, Reg::R0, 1);
+        b.jmp(join);
+        b.bind(els);
+        b.addi(Reg::R2, Reg::R0, 2);
+        b.bind(join);
+        b.halt();
+        let (prog, a) = analyze(b, MemSharing::Shared);
+        let join_pc = prog.len() as u64 - 1;
+        let s = a.before(join_pc).unwrap();
+        assert_eq!(s.get(Reg::R2).konst, None, "1 vs 2 at the join");
+        assert!(s.get(Reg::R2).written, "written on both paths");
+        // Both arms wrote an invariant constant; the *choice* of arm is
+        // thread-dependent, which this flow-insensitive-per-register
+        // lattice deliberately does not model — it stays a lower bound
+        // for the linter, while the oracle checks dynamic values.
+        assert_eq!(s.get(Reg::R1).inv, Invariance::ThreadDependent);
+    }
+
+    #[test]
+    fn loads_are_top_with_per_thread_memory_and_tracked_when_shared() {
+        let mk = || {
+            let mut b = Builder::new();
+            b.addi(Reg::R1, Reg::R0, 64);
+            b.ld(Reg::R2, Reg::R1, 0);
+            b.halt();
+            b
+        };
+        let (_, me) = analyze(mk(), MemSharing::PerThread);
+        assert_eq!(me.before(2).unwrap().get(Reg::R2).inv, Invariance::Top);
+        assert!(!me.loads_invariant());
+
+        let (_, mt) = analyze(mk(), MemSharing::Shared);
+        assert_eq!(
+            mt.before(2).unwrap().get(Reg::R2).inv,
+            Invariance::Invariant,
+            "shared store-free memory: same address loads the same value"
+        );
+
+        // One store anywhere forfeits load invariance.
+        let mut b = Builder::new();
+        b.addi(Reg::R1, Reg::R0, 64);
+        b.st(Reg::R0, Reg::R1, 0);
+        b.ld(Reg::R2, Reg::R1, 0);
+        b.halt();
+        let (_, stored) = analyze(b, MemSharing::Shared);
+        assert_eq!(stored.before(3).unwrap().get(Reg::R2).inv, Invariance::Top);
+    }
+
+    #[test]
+    fn unreachable_code_has_no_state() {
+        let mut b = Builder::new();
+        let out = b.label();
+        b.jmp(out);
+        b.addi(Reg::R1, Reg::R0, 1);
+        b.bind(out);
+        b.halt();
+        let (_, a) = analyze(b, MemSharing::Shared);
+        assert!(a.before(1).is_none());
+        assert!(a.before(2).is_some());
+    }
+
+    #[test]
+    fn loop_fixpoint_converges_with_loop_carried_variable() {
+        let mut b = Builder::new();
+        let (top, out) = (b.label(), b.label());
+        b.addi(Reg::R1, Reg::R0, 10);
+        b.bind(top);
+        b.addi(Reg::R1, Reg::R1, -1);
+        b.bne(Reg::R1, Reg::R0, top);
+        b.bind(out);
+        b.halt();
+        let (_, a) = analyze(b, MemSharing::Shared);
+        let s = a.before(1).unwrap();
+        // 10 on entry, 9.. on the back edge: no single constant.
+        assert_eq!(s.get(Reg::R1).konst, None);
+        assert_eq!(s.get(Reg::R1).inv, Invariance::Invariant);
+    }
+}

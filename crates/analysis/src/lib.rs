@@ -1,0 +1,55 @@
+//! # mmt-analysis — static analysis and differential checking for MMT
+//!
+//! Three layers over the shared [`mmt_isa::Program`] representation:
+//!
+//! 1. [`cfg`] + [`dataflow`] — basic-block CFG construction and a forward
+//!    dataflow pass computing, per register and program point, a
+//!    thread-invariance lattice ([`Invariance`]), constant values, and
+//!    definite initialization.
+//! 2. [`lint`] — a program linter built on those facts: out-of-range
+//!    branch targets, falling off the end without `halt`, unreachable
+//!    blocks, reads of never-written registers, stores into the reserved
+//!    low-memory region.
+//! 3. [`oracle`] — the differential redundancy oracle: a static
+//!    must-merge / may-merge / must-split classification of every
+//!    instruction, and [`Oracle::check`], which replays the simulator's
+//!    merge log (`mmt_sim` with `record_merge_log`) and independently
+//!    verifies that every dynamic merge was between execute-identical
+//!    instructions. The timing model is oracle-functional, so an unsound
+//!    merge cannot corrupt architected results — this replay is what
+//!    makes such a bug loud instead of silent.
+//!
+//! ## Example
+//!
+//! ```
+//! use mmt_analysis::{lint_program, Cfg, Invariance, MergeClass, Oracle};
+//! use mmt_isa::{asm::Builder, MemSharing, Reg};
+//!
+//! let mut b = Builder::new();
+//! b.tid(Reg::R1);                      // thread-dependent by definition
+//! b.addi(Reg::R2, Reg::R0, 7);         // invariant constant
+//! b.alu_add(Reg::R3, Reg::R1, Reg::R2);
+//! b.halt();
+//! let prog = b.build()?;
+//!
+//! assert!(lint_program(&prog).is_empty());
+//! assert_eq!(Cfg::build(&prog).blocks().len(), 1);
+//!
+//! let oracle = Oracle::new(&prog, MemSharing::Shared);
+//! assert_eq!(oracle.class_of(0), Some(MergeClass::MustSplit));
+//! assert_eq!(oracle.class_of(1), Some(MergeClass::MustMerge));
+//! assert_eq!(oracle.class_of(2), Some(MergeClass::MayMerge));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod dataflow;
+pub mod lint;
+pub mod oracle;
+
+pub use cfg::{BasicBlock, Cfg};
+pub use dataflow::{Analysis, Invariance, RegFact, RegState};
+pub use lint::{has_errors, lint_program, Lint, LintKind, Severity};
+pub use oracle::{MergeClass, Oracle, OracleReport};

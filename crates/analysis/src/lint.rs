@@ -1,0 +1,318 @@
+//! The program linter: static checks over a [`Program`] built from the
+//! CFG and dataflow facts.
+//!
+//! Severity semantics: an [`Severity::Error`] means the program can
+//! misbehave at run time (fall off the end, jump outside the program,
+//! clobber reserved memory); a [`Severity::Warning`] flags suspicious but
+//! well-defined code (reads of never-written registers, unreachable
+//! blocks). "Lint-clean" for the workload generator means *no errors* —
+//! warnings are advisory.
+
+use crate::cfg::Cfg;
+use crate::dataflow::Analysis;
+use mmt_isa::reg::NUM_REGS;
+use mmt_isa::{Inst, MemSharing, Program};
+use std::fmt;
+
+/// Word addresses below this bound are reserved: the workload memory
+/// layout places no region there (its shared region starts at word 4096),
+/// so a store with a statically-known address in `0..4096` clobbers
+/// memory no kernel owns. The constant mirrors
+/// `mmt_workloads::spec::layout::SHARED_BASE`; it is duplicated here
+/// because the workloads crate dev-depends on this linter, so the linter
+/// cannot depend back on it.
+pub const RESERVED_WORDS: u64 = 4096;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but well-defined.
+    Warning,
+    /// Can misbehave at run time.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The kind of defect a [`Lint`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintKind {
+    /// The program has no instructions at all.
+    EmptyProgram,
+    /// A static branch/jump target points outside the program.
+    TargetOutOfRange,
+    /// Execution can run past the last instruction without a `halt`.
+    FallsOffEnd,
+    /// A register is read on some path before any instruction writes it.
+    ReadBeforeWrite,
+    /// A basic block can never execute.
+    UnreachableBlock,
+    /// A store with a statically-known address hits the reserved
+    /// low-memory region (see [`RESERVED_WORDS`]).
+    StoreToReservedRegion,
+}
+
+/// One linter finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// The PC the finding anchors to, when it has one.
+    pub pc: Option<u64>,
+    /// What went wrong.
+    pub kind: LintKind,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Lint {
+    /// Whether this finding is an [`Severity::Error`].
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pc {
+            Some(pc) => write!(f, "{}: pc {pc}: {}", self.severity, self.message),
+            None => write!(f, "{}: {}", self.severity, self.message),
+        }
+    }
+}
+
+/// Whether any finding in `lints` is an error.
+pub fn has_errors(lints: &[Lint]) -> bool {
+    lints.iter().any(Lint::is_error)
+}
+
+/// Lint `prog`, returning all findings in ascending PC order.
+///
+/// The dataflow pass runs with the conservative [`MemSharing::PerThread`]
+/// load model: the lints below never depend on load *values*, only on
+/// addresses and initialization, so the conservative model is exact for
+/// them regardless of how the program is actually run.
+pub fn lint_program(prog: &Program) -> Vec<Lint> {
+    let insts = prog.as_slice();
+    let n = insts.len();
+    if n == 0 {
+        return vec![Lint {
+            pc: None,
+            kind: LintKind::EmptyProgram,
+            severity: Severity::Error,
+            message: "empty program: nothing to execute, no halt".into(),
+        }];
+    }
+
+    let mut lints = Vec::new();
+    for (pc, inst) in insts.iter().enumerate() {
+        if let Some(t) = inst.static_target() {
+            if t as usize >= n {
+                lints.push(Lint {
+                    pc: Some(pc as u64),
+                    kind: LintKind::TargetOutOfRange,
+                    severity: Severity::Error,
+                    message: format!(
+                        "`{inst}` targets pc {t}, outside the {n}-instruction program"
+                    ),
+                });
+            }
+        }
+    }
+
+    let cfg = Cfg::build(prog);
+    let analysis = Analysis::run(prog, &cfg, MemSharing::PerThread);
+
+    for (b, blk) in cfg.blocks().iter().enumerate() {
+        if !cfg.is_reachable(b) {
+            lints.push(Lint {
+                pc: Some(blk.start),
+                kind: LintKind::UnreachableBlock,
+                severity: Severity::Warning,
+                message: format!(
+                    "block at pc {}..{} is unreachable from the entry",
+                    blk.start, blk.end
+                ),
+            });
+            continue;
+        }
+        // Only the final block can end at `n`; falling past it leaves
+        // the program (the interpreter faults there).
+        if blk.end as usize == n && insts[n - 1].falls_through() {
+            lints.push(Lint {
+                pc: Some(n as u64 - 1),
+                kind: LintKind::FallsOffEnd,
+                severity: Severity::Error,
+                message: format!(
+                    "`{}` can fall through past the end of the program (missing halt?)",
+                    insts[n - 1]
+                ),
+            });
+        }
+    }
+
+    let mut reported_read = [false; NUM_REGS];
+    for (pc, inst) in insts.iter().enumerate() {
+        let Some(state) = analysis.before(pc as u64) else {
+            continue; // unreachable: already reported above
+        };
+        for r in inst.sources().iter() {
+            if !r.is_zero() && !state.get(r).written && !reported_read[r.index()] {
+                reported_read[r.index()] = true;
+                lints.push(Lint {
+                    pc: Some(pc as u64),
+                    kind: LintKind::ReadBeforeWrite,
+                    severity: Severity::Warning,
+                    message: format!(
+                        "`{inst}` reads {r} which no instruction has written on some path \
+                         (reads reset-zero)"
+                    ),
+                });
+            }
+        }
+        if let Inst::St { base, off, .. } = *inst {
+            if let Some(b) = state.get(base).konst {
+                let addr = b.wrapping_add_signed(off);
+                if addr < RESERVED_WORDS {
+                    lints.push(Lint {
+                        pc: Some(pc as u64),
+                        kind: LintKind::StoreToReservedRegion,
+                        severity: Severity::Error,
+                        message: format!(
+                            "`{inst}` stores to word {addr}, inside the reserved region \
+                             0..{RESERVED_WORDS}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    lints.sort_by_key(|l| l.pc);
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_isa::asm::Builder;
+    use mmt_isa::Reg;
+
+    fn kinds(lints: &[Lint]) -> Vec<LintKind> {
+        lints.iter().map(|l| l.kind).collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let mut b = Builder::new();
+        b.addi(Reg::R1, Reg::R0, 3);
+        b.alu_add(Reg::R2, Reg::R1, Reg::R1);
+        b.halt();
+        assert!(lint_program(&b.build().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        let lints = lint_program(&Program::from_insts(Vec::new()));
+        assert_eq!(kinds(&lints), vec![LintKind::EmptyProgram]);
+        assert!(has_errors(&lints));
+    }
+
+    #[test]
+    fn out_of_range_target_is_flagged() {
+        let prog = Program::from_insts(vec![Inst::Jmp { target: 99 }, Inst::Halt]);
+        let lints = lint_program(&prog);
+        assert!(kinds(&lints).contains(&LintKind::TargetOutOfRange));
+        assert!(has_errors(&lints));
+    }
+
+    #[test]
+    fn missing_halt_is_flagged() {
+        let mut b = Builder::new();
+        b.addi(Reg::R1, Reg::R0, 1);
+        let lints = lint_program(&b.build().unwrap());
+        assert_eq!(kinds(&lints), vec![LintKind::FallsOffEnd]);
+    }
+
+    #[test]
+    fn branch_at_end_can_still_fall_off() {
+        let mut b = Builder::new();
+        let top = b.label();
+        b.bind(top);
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.bne(Reg::R1, Reg::R0, top); // not-taken path exits the program
+        let lints = lint_program(&b.build().unwrap());
+        assert!(kinds(&lints).contains(&LintKind::FallsOffEnd));
+    }
+
+    #[test]
+    fn read_before_write_is_a_warning_not_an_error() {
+        let mut b = Builder::new();
+        b.alu_add(Reg::R2, Reg::R1, Reg::R1); // r1 never written
+        b.halt();
+        let lints = lint_program(&b.build().unwrap());
+        assert_eq!(kinds(&lints), vec![LintKind::ReadBeforeWrite]);
+        assert!(!has_errors(&lints));
+    }
+
+    #[test]
+    fn write_on_one_path_only_still_warns() {
+        let mut b = Builder::new();
+        let (els, join) = (b.label(), b.label());
+        b.tid(Reg::R1);
+        b.beq(Reg::R1, Reg::R0, els);
+        b.addi(Reg::R2, Reg::R0, 1);
+        b.bind(els);
+        b.bind(join);
+        b.alu_add(Reg::R3, Reg::R2, Reg::R2); // r2 unwritten when branch taken
+        b.halt();
+        let lints = lint_program(&b.build().unwrap());
+        assert!(kinds(&lints).contains(&LintKind::ReadBeforeWrite));
+    }
+
+    #[test]
+    fn store_to_reserved_region_is_an_error() {
+        let mut b = Builder::new();
+        b.addi(Reg::R1, Reg::R0, 100); // constant address, below 4096
+        b.st(Reg::R0, Reg::R1, 8);
+        b.halt();
+        let lints = lint_program(&b.build().unwrap());
+        assert!(kinds(&lints).contains(&LintKind::StoreToReservedRegion));
+        assert!(has_errors(&lints));
+
+        // Same store at a legal constant address is clean.
+        let mut b = Builder::new();
+        b.li(Reg::R1, RESERVED_WORDS as i64);
+        b.st(Reg::R0, Reg::R1, 8);
+        b.halt();
+        assert!(!has_errors(&lint_program(&b.build().unwrap())));
+    }
+
+    #[test]
+    fn unreachable_block_is_a_warning() {
+        let mut b = Builder::new();
+        let out = b.label();
+        b.jmp(out);
+        b.addi(Reg::R1, Reg::R0, 1);
+        b.bind(out);
+        b.halt();
+        let lints = lint_program(&b.build().unwrap());
+        assert_eq!(kinds(&lints), vec![LintKind::UnreachableBlock]);
+        assert!(!has_errors(&lints));
+    }
+
+    #[test]
+    fn display_includes_severity_and_pc() {
+        let prog = Program::from_insts(vec![Inst::Jmp { target: 99 }, Inst::Halt]);
+        let lints = lint_program(&prog);
+        let text = lints[0].to_string();
+        assert!(text.starts_with("error: pc 0:"), "{text}");
+    }
+}

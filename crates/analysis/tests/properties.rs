@@ -1,0 +1,163 @@
+//! Property-based tests for the static analyzer: CFG block boundaries
+//! must partition every PC exactly once, edges must be reciprocal and in
+//! range, and the dataflow/linter must be total (no panics, states for
+//! exactly the reachable PCs) over arbitrary instruction sequences.
+
+use mmt_analysis::{lint_program, Analysis, Cfg};
+use mmt_isa::inst::Inst;
+use mmt_isa::{AluOp, BrCond, FpuOp, MemSharing, Program, Reg};
+use proptest::prelude::*;
+
+/// Arbitrary instructions with control-flow targets inside `0..len`
+/// (out-of-range targets are a *lint*, exercised separately).
+fn arb_inst(len: usize) -> impl Strategy<Value = Inst> {
+    let reg = (0usize..32).prop_map(|i| Reg::from_index(i).unwrap());
+    let target = 0u64..len as u64;
+    prop_oneof![
+        (reg.clone(), reg.clone(), reg.clone(), 0usize..10).prop_map(|(rd, rs1, rs2, op)| {
+            let ops = [
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::And,
+                AluOp::Or,
+                AluOp::Xor,
+                AluOp::Shl,
+                AluOp::Shr,
+                AluOp::Slt,
+                AluOp::Mul,
+                AluOp::Div,
+            ];
+            Inst::Alu {
+                op: ops[op],
+                rd,
+                rs1,
+                rs2,
+            }
+        }),
+        (reg.clone(), reg.clone(), any::<i32>()).prop_map(|(rd, rs1, imm)| {
+            Inst::AluI {
+                op: AluOp::Add,
+                rd,
+                rs1,
+                imm: imm as i64,
+            }
+        }),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, rs1, rs2)| {
+            Inst::Fpu {
+                op: FpuOp::Fmul,
+                rd,
+                rs1,
+                rs2,
+            }
+        }),
+        (reg.clone(), reg.clone(), any::<i16>()).prop_map(|(rd, base, off)| Inst::Ld {
+            rd,
+            base,
+            off: off as i64
+        }),
+        (reg.clone(), reg.clone(), any::<i16>()).prop_map(|(src, base, off)| Inst::St {
+            src,
+            base,
+            off: off as i64
+        }),
+        (reg.clone(), reg.clone(), target.clone(), 0usize..4).prop_map(|(rs1, rs2, t, c)| {
+            let conds = [BrCond::Eq, BrCond::Ne, BrCond::Lt, BrCond::Ge];
+            Inst::Br {
+                cond: conds[c],
+                rs1,
+                rs2,
+                target: t,
+            }
+        }),
+        target.clone().prop_map(|t| Inst::Jmp { target: t }),
+        (reg.clone(), target).prop_map(|(rd, t)| Inst::Jal { rd, target: t }),
+        reg.clone().prop_map(|rs| Inst::Jr { rs }),
+        reg.prop_map(|rd| Inst::Tid { rd }),
+        Just(Inst::Halt),
+        Just(Inst::Nop),
+    ]
+}
+
+proptest! {
+    /// The tentpole structural property: blocks are sorted, contiguous,
+    /// non-empty, and together cover `0..len` with no PC in two blocks.
+    #[test]
+    fn cfg_blocks_partition_every_pc_exactly_once(
+        insts in prop::collection::vec(arb_inst(48), 1..48)
+    ) {
+        let prog = Program::from_insts(insts);
+        let n = prog.len() as u64;
+        let cfg = Cfg::build(&prog);
+
+        let mut covered = vec![0u32; n as usize];
+        let mut prev_end = 0;
+        for (idx, blk) in cfg.blocks().iter().enumerate() {
+            prop_assert!(blk.start < blk.end, "block {idx} is non-empty");
+            prop_assert_eq!(blk.start, prev_end, "blocks are contiguous and sorted");
+            prev_end = blk.end;
+            for pc in blk.pcs() {
+                covered[pc as usize] += 1;
+                prop_assert_eq!(cfg.block_of(pc), Some(idx));
+            }
+        }
+        prop_assert_eq!(prev_end, n, "blocks cover the whole program");
+        prop_assert!(covered.iter().all(|&c| c == 1), "each PC in exactly one block");
+    }
+
+    #[test]
+    fn cfg_edges_are_reciprocal_and_in_range(
+        insts in prop::collection::vec(arb_inst(48), 1..48)
+    ) {
+        let prog = Program::from_insts(insts);
+        let cfg = Cfg::build(&prog);
+        let nb = cfg.blocks().len();
+        for (idx, blk) in cfg.blocks().iter().enumerate() {
+            for &s in &blk.succs {
+                prop_assert!(s < nb);
+                prop_assert!(cfg.blocks()[s].preds.contains(&idx));
+            }
+            for &p in &blk.preds {
+                prop_assert!(p < nb);
+                prop_assert!(cfg.blocks()[p].succs.contains(&idx));
+            }
+        }
+        prop_assert!(cfg.is_reachable(cfg.entry()));
+    }
+
+    /// Dataflow assigns a state to exactly the reachable PCs and never
+    /// panics, whatever the program shape or sharing model.
+    #[test]
+    fn dataflow_is_total_over_reachable_code(
+        insts in prop::collection::vec(arb_inst(32), 1..32)
+    ) {
+        let prog = Program::from_insts(insts);
+        let cfg = Cfg::build(&prog);
+        for sharing in [MemSharing::Shared, MemSharing::PerThread] {
+            let analysis = Analysis::run(&prog, &cfg, sharing);
+            for blk in cfg.blocks() {
+                let idx = cfg.block_of(blk.start).unwrap();
+                for pc in blk.pcs() {
+                    prop_assert_eq!(
+                        analysis.before(pc).is_some(),
+                        cfg.is_reachable(idx),
+                        "state exists iff the block is reachable (pc {})", pc
+                    );
+                }
+            }
+        }
+    }
+
+    /// The linter is total: no panics, and every finding anchors to a PC
+    /// inside the program.
+    #[test]
+    fn linter_is_total_and_findings_are_anchored(
+        insts in prop::collection::vec(arb_inst(32), 1..32)
+    ) {
+        let prog = Program::from_insts(insts);
+        for lint in lint_program(&prog) {
+            if let Some(pc) = lint.pc {
+                prop_assert!(pc < prog.len() as u64, "{lint}");
+            }
+        }
+    }
+}

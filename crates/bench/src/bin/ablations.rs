@@ -73,7 +73,9 @@ fn main() {
             |cfg, v| cfg.hierarchy.prefetch = v != 0,
         ),
         other => {
-            eprintln!("unknown study '{other}' (sync|align|lvip|fetchstyle|prefetch|barrier|fetchpolicy)");
+            eprintln!(
+                "unknown study '{other}' (sync|align|lvip|fetchstyle|prefetch|barrier|fetchpolicy)"
+            );
             std::process::exit(2);
         }
     }
@@ -96,7 +98,10 @@ fn sync_policy_study(threads: usize, scale: u64) {
         "Ablation: FHB hardware vs software remerge hints ({threads} threads, MMT-FXR speedup \
          over Base)"
     );
-    println!("{:<14} {:>8} {:>8} {:>10} {:>10}", "app", "FHB", "hints", "FHB mrg%", "hint mrg%");
+    println!(
+        "{:<14} {:>8} {:>8} {:>10} {:>10}",
+        "app", "FHB", "hints", "FHB mrg%", "hint mrg%"
+    );
     let (mut fhbs, mut hints) = (Vec::new(), Vec::new());
     for app in all_apps() {
         let base = run_app_with(&app, threads, MmtLevel::Base, scale, |_| {});
@@ -153,7 +158,10 @@ fn barrier_study(threads: usize, scale: u64) {
         "Ablation: barrier-phased kernels ({threads} threads, MMT-FXR speedup over Base, \
          MERGE residency)"
     );
-    println!("{:<14} {:>10} {:>10} {:>10} {:>10}", "app", "free", "barriered", "free mrg%", "barr mrg%");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10}",
+        "app", "free", "barriered", "free mrg%", "barr mrg%"
+    );
     for app in all_apps() {
         if app.sharing() != MemSharing::Shared {
             continue; // barriers need shared memory

@@ -23,8 +23,14 @@ fn main() {
         .map(|v| v.parse().expect("--scale takes a number"))
         .unwrap_or(FULL_SCALE);
 
-    println!("Figure 5({}): speedup over Base SMT, {threads} threads", if threads == 2 { 'a' } else { 'c' });
-    println!("{:<14} {:>7} {:>7} {:>8} {:>7}", "app", "MMT-F", "MMT-FX", "MMT-FXR", "Limit");
+    println!(
+        "Figure 5({}): speedup over Base SMT, {threads} threads",
+        if threads == 2 { 'a' } else { 'c' }
+    );
+    println!(
+        "{:<14} {:>7} {:>7} {:>8} {:>7}",
+        "app", "MMT-F", "MMT-FX", "MMT-FXR", "Limit"
+    );
     let mut cols: [Vec<f64>; 4] = Default::default();
     for app in all_apps() {
         let base = run_app(&app, threads, MmtLevel::Base, scale);
@@ -39,7 +45,10 @@ fn main() {
             mmt_sim::Simulator::new(cfg, spec).unwrap().run().unwrap()
         };
         let limit = speedup(&limit_base, &run_limit(&app, threads, scale));
-        println!("{:<14} {f:>7.3} {fx:>7.3} {fxr:>8.3} {limit:>7.3}", app.name);
+        println!(
+            "{:<14} {f:>7.3} {fx:>7.3} {fxr:>8.3} {limit:>7.3}",
+            app.name
+        );
         for (col, v) in cols.iter_mut().zip([f, fx, fxr, limit]) {
             col.push(v);
         }

@@ -1,0 +1,110 @@
+//! `mmtlint` — static analysis front end: lint a suite application (or
+//! all of them, or a hand-written assembly file) and print the linter
+//! findings plus the redundancy oracle's static merge classification.
+//!
+//! ```text
+//! mmtlint --app swaptions --threads 2
+//! mmtlint --app all
+//! mmtlint --asm kernel.s --sharing me
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! | flag | default | meaning |
+//! |---|---|---|
+//! | `--app NAME`  | `all`  | suite app name, or `all` |
+//! | `--threads N` | `2`    | hardware threads (1–4) |
+//! | `--scale N`   | `16`   | iteration divisor for app instances |
+//! | `--asm PATH`  | —      | lint an assembly file instead of a suite app |
+//! | `--sharing S` | `mt`   | with `--asm`: `mt` (shared memory) or `me` (per process) |
+//!
+//! Exit status is non-zero when any program has error-severity findings,
+//! so the tool works as a CI gate over the generator.
+
+use mmt_analysis::{lint_program, Oracle};
+use mmt_bench::arg_value;
+use mmt_isa::{MemSharing, Program};
+use mmt_workloads::{all_apps, app_by_name, App};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut failed = false;
+
+    if let Some(path) = arg_value(&args, "--asm") {
+        let source = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let program = mmt_isa::parse::parse(&source).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        });
+        let sharing = match arg_value(&args, "--sharing").as_deref() {
+            None | Some("mt") => MemSharing::Shared,
+            Some("me") => MemSharing::PerThread,
+            Some(other) => {
+                eprintln!("unknown sharing '{other}' (mt|me)");
+                std::process::exit(2);
+            }
+        };
+        failed |= report(&path, &program, sharing);
+        std::process::exit(if failed { 1 } else { 0 });
+    }
+
+    let app_name = arg_value(&args, "--app").unwrap_or_else(|| "all".into());
+    let threads: usize = arg_value(&args, "--threads")
+        .map(|v| v.parse().expect("--threads takes 1..=4"))
+        .unwrap_or(2);
+    let scale: u64 = arg_value(&args, "--scale")
+        .map(|v| v.parse().expect("--scale takes a number"))
+        .unwrap_or(16);
+
+    let apps: Vec<App> = if app_name == "all" {
+        all_apps()
+    } else {
+        vec![app_by_name(&app_name).unwrap_or_else(|| {
+            eprintln!(
+                "unknown app '{app_name}'; known: {}",
+                all_apps()
+                    .iter()
+                    .map(|a| a.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2);
+        })]
+    };
+
+    for app in &apps {
+        let w = app.instance(threads, scale);
+        failed |= report(app.name, &w.program, w.sharing);
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
+/// Print one program's findings and static summary; returns whether any
+/// finding was an error.
+fn report(name: &str, program: &Program, sharing: MemSharing) -> bool {
+    let lints = lint_program(program);
+    let oracle = Oracle::new(program, sharing);
+    let (must_merge, may_merge, must_split) = oracle.static_counts();
+    let sharing_label = match sharing {
+        MemSharing::Shared => "mt",
+        MemSharing::PerThread => "me",
+    };
+    println!(
+        "{name} [{sharing_label}]: {} instructions — static classes: \
+         {must_merge} must-merge / {may_merge} may-merge / {must_split} must-split",
+        program.len()
+    );
+    for lint in &lints {
+        println!("  {lint}");
+    }
+    let errors = lints.iter().filter(|l| l.is_error()).count();
+    if lints.is_empty() {
+        println!("  clean");
+    } else {
+        println!("  {} finding(s), {errors} error(s)", lints.len());
+    }
+    errors > 0
+}

@@ -197,7 +197,11 @@ fn run_one(
         .expect("valid config and spec")
         .run()
         .expect("workloads terminate");
-    let label = if limit { "limit".into() } else { level.name().to_string() };
+    let label = if limit {
+        "limit".into()
+    } else {
+        level.name().to_string()
+    };
     (result, label)
 }
 
@@ -206,7 +210,12 @@ fn print_human(app: &App, level: &str, r: &SimResult) {
     let (m, d, c) = s.fetch_modes.fractions();
     let id = &s.identity;
     let energy = EnergyModel::default().energy(&s.energy);
-    println!("{} [{}] on {} threads:", app.name, level, s.retired_per_thread.len());
+    println!(
+        "{} [{}] on {} threads:",
+        app.name,
+        level,
+        s.retired_per_thread.len()
+    );
     println!(
         "  cycles {:>10}   ipc {:>5.2}   retired {:?}",
         s.cycles,
@@ -232,7 +241,12 @@ fn print_human(app: &App, level: &str, r: &SimResult) {
     );
     println!(
         "  caches   L1I {}/{}m   L1D {}/{}m   L2 {}m   branches {} ({} mispredicted)",
-        s.l1i.accesses, s.l1i.misses, s.l1d.accesses, s.l1d.misses, s.l2.misses, s.branches,
+        s.l1i.accesses,
+        s.l1i.misses,
+        s.l1d.accesses,
+        s.l1d.misses,
+        s.l2.misses,
+        s.branches,
         s.branch_mispredicts
     );
     println!(

@@ -149,8 +149,7 @@ mod tests {
         let lim = run_limit(&app, 2, SMOKE_SCALE);
         let id = &lim.stats.identity;
         assert!(
-            (id.execute_identical + id.execute_identical_regmerge) as f64 / id.total() as f64
-                > 0.7,
+            (id.execute_identical + id.execute_identical_regmerge) as f64 / id.total() as f64 > 0.7,
             "limit should merge almost everything: {id:?}"
         );
     }

@@ -1,0 +1,44 @@
+//! Merge-event logging for differential checking.
+//!
+//! When [`crate::SimConfig::record_merge_log`] is set, the dispatch stage
+//! records one [`MergeEvent`] for every uop that stays merged past the
+//! splitter — the exact decisions the Register Sharing Table claims are
+//! sound. An offline checker (the `mmt-analysis` crate's differential
+//! oracle) replays the log against the functional per-member
+//! [`TraceRecord`]s and independently verifies each claim, so a timing
+//! bug that merged instructions with *different* operand values is caught
+//! even though the oracle-functional execution model keeps architected
+//! results correct regardless.
+
+use crate::itid::Itid;
+use mmt_isa::trace::TraceRecord;
+use mmt_isa::{Inst, MAX_THREADS};
+
+/// One merged dispatch, with the functional ground truth for every
+/// member thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeEvent {
+    /// Fetch PC of the merged instruction.
+    pub pc: u64,
+    /// The static instruction.
+    pub inst: Inst,
+    /// Member threads of the merged uop (at least two bits set).
+    pub itid: Itid,
+    /// Functional step records, indexed by thread id; `Some` exactly for
+    /// the members of [`Self::itid`].
+    pub records: [Option<TraceRecord>; MAX_THREADS],
+    /// The merge was an LVIP-gated multi-execution load: member *loaded
+    /// values* were verified equal at dispatch, but operand equality is
+    /// still required for the merge to be sound.
+    pub lvip_speculative: bool,
+}
+
+impl MergeEvent {
+    /// The member threads with their functional records, in thread order.
+    pub fn members(&self) -> impl Iterator<Item = (usize, &TraceRecord)> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter_map(|(t, r)| r.as_ref().map(|r| (t, r)))
+    }
+}

@@ -170,6 +170,13 @@ pub struct SimConfig {
     pub hint_wait_limit: u64,
     /// Hard cycle cap (guards against runaway simulations).
     pub max_cycles: u64,
+    /// Record every merged dispatch as a [`crate::MergeEvent`] in
+    /// [`crate::SimResult::merge_log`], for offline differential checking
+    /// against a static redundancy oracle (`mmt-analysis`). When set, the
+    /// in-pipeline debug assertion on unsound merges is suppressed so the
+    /// oracle — not a panic — is the observer. Off by default: the log
+    /// grows with dynamic merged-instruction count.
+    pub record_merge_log: bool,
 }
 
 impl SimConfig {
@@ -207,6 +214,7 @@ impl SimConfig {
             remerge_hints: Vec::new(),
             hint_wait_limit: 400,
             max_cycles: 500_000_000,
+            record_merge_log: false,
         }
     }
 

@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod config;
 pub mod hw_cost;
 pub mod itid;
@@ -56,6 +57,7 @@ pub mod rst;
 pub mod split;
 pub mod stats;
 
+pub use audit::MergeEvent;
 pub use config::{FetchStyle, MmtLevel, SimConfig};
 pub use itid::Itid;
 pub use lvip::Lvip;

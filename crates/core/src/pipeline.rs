@@ -71,6 +71,21 @@ pub enum SimError {
         /// The configured limit that was hit.
         limit: u64,
     },
+    /// The pipeline's divergence bookkeeping went inconsistent: a thread
+    /// named in a fetch group was missing the per-member step
+    /// information the front end is required to record for it. This is a
+    /// simulator bug surfaced as a diagnostic rather than a panic.
+    Desync {
+        /// Fetch PC of the instruction being processed.
+        pc: u64,
+        /// The thread whose state was inconsistent.
+        thread: usize,
+        /// What the pipeline was doing when it noticed.
+        context: &'static str,
+    },
+    /// A structural invariant failed in [`Simulator::validate`] (only
+    /// produced when the `check-invariants` feature is enabled).
+    Invariant(String),
 }
 
 impl fmt::Display for SimError {
@@ -80,6 +95,12 @@ impl fmt::Display for SimError {
             SimError::BadSpec(m) => write!(f, "invalid run spec: {m}"),
             SimError::Exec(e) => write!(f, "thread faulted: {e}"),
             SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} reached"),
+            SimError::Desync {
+                pc,
+                thread,
+                context,
+            } => write!(f, "pipeline desync at pc {pc}, thread {thread}: {context}"),
+            SimError::Invariant(m) => write!(f, "invariant violation: {m}"),
         }
     }
 }
@@ -100,6 +121,10 @@ pub struct SimResult {
     /// Final architected register values per thread (functional ground
     /// truth — identical across MMT levels for the same workload).
     pub final_regs: Vec<[u64; NUM_REGS]>,
+    /// Every merged dispatch, when [`SimConfig::record_merge_log`] was
+    /// set (empty otherwise). Consumed by the `mmt-analysis` differential
+    /// oracle.
+    pub merge_log: Vec<crate::audit::MergeEvent>,
 }
 
 type UopId = usize;
@@ -267,6 +292,7 @@ pub struct Simulator {
     dbg_stall_other: u64,
     dbg_dispatch_hist: [u64; 9],
     stats: SimStats,
+    merge_log: Vec<crate::audit::MergeEvent>,
 }
 
 impl Simulator {
@@ -354,6 +380,7 @@ impl Simulator {
             dbg_stall_iq: 0,
             dbg_stall_other: 0,
             dbg_dispatch_hist: [0; 9],
+            merge_log: Vec::new(),
             threads,
             now: 0,
             program: spec.program,
@@ -372,6 +399,26 @@ impl Simulator {
     /// the configured cycle cap is reached.
     pub fn run(mut self) -> Result<SimResult, SimError> {
         while !self.finished() {
+            self.step_cycle()?;
+        }
+        Ok(self.finish())
+    }
+
+    /// Advance the machine by one cycle (commit, issue, dispatch, fetch).
+    ///
+    /// [`Simulator::run`] is a loop over this; it is public so tests and
+    /// checkers can observe — or deliberately corrupt — mid-flight state
+    /// between cycles. With the `check-invariants` feature enabled,
+    /// [`Simulator::validate`] runs after every cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Exec`] if a thread faults, [`SimError::CycleLimit`]
+    /// once `max_cycles` have elapsed, [`SimError::Desync`] on
+    /// inconsistent divergence bookkeeping, and (under `check-invariants`)
+    /// [`SimError::Invariant`] when a structural audit fails.
+    pub fn step_cycle(&mut self) -> Result<(), SimError> {
+        {
             if self.now >= self.cfg.max_cycles {
                 return Err(SimError::CycleLimit {
                     limit: self.cfg.max_cycles,
@@ -382,9 +429,8 @@ impl Simulator {
             }
             if self.cfg.level.shared_fetch() {
                 let n = self.threads.len();
-                let unmerged = (0..n).any(|t| {
-                    !self.threads[t].halted_fetch && !self.sync.is_merged(t)
-                });
+                let unmerged =
+                    (0..n).any(|t| !self.threads[t].halted_fetch && !self.sync.is_merged(t));
                 if unmerged {
                     self.dbg_unmerged_cycles += 1;
                     let retired0 = self.stats.energy.commits;
@@ -438,7 +484,18 @@ impl Simulator {
             }
             self.now += 1;
         }
+        #[cfg(feature = "check-invariants")]
+        self.validate().map_err(SimError::Invariant)?;
+        Ok(())
+    }
 
+    /// Finalize statistics and extract the [`SimResult`].
+    ///
+    /// Normally called through [`Simulator::run`]; callers driving the
+    /// machine with [`Simulator::step_cycle`] call it themselves once
+    /// [`Simulator::finished`] reports true (calling earlier just yields
+    /// a snapshot of a partial run).
+    pub fn finish(mut self) -> SimResult {
         self.stats.cycles = self.now;
         for t in 0..self.threads.len() {
             self.stats.retired_per_thread[t] = self.threads[t].retired;
@@ -462,7 +519,10 @@ impl Simulator {
             );
             eprintln!(
                 "stalls: frontend={} rob={} iq={} other={}",
-                self.dbg_stall_frontend, self.dbg_stall_rob, self.dbg_stall_iq, self.dbg_stall_other
+                self.dbg_stall_frontend,
+                self.dbg_stall_rob,
+                self.dbg_stall_iq,
+                self.dbg_stall_other
             );
         }
         let (_, catchup_aborts, merges, divergences) = self.sync.stats();
@@ -480,18 +540,113 @@ impl Simulator {
         self.stats.energy.dram_accesses = self.stats.l2.misses;
 
         let final_regs = self.threads.iter().map(|t| *t.machine.regs()).collect();
-        Ok(SimResult {
+        SimResult {
             stats: self.stats,
             final_regs,
-        })
+            merge_log: self.merge_log,
+        }
     }
 
-    fn finished(&self) -> bool {
+    /// All threads have fetched their `halt` and drained their commit
+    /// queues — nothing is left in flight.
+    pub fn finished(&self) -> bool {
         self.decode_queue.is_empty()
             && self
                 .threads
                 .iter()
                 .all(|t| t.halted_fetch && t.commit_queue.is_empty())
+    }
+
+    /// Audit structural invariants of the pipeline state.
+    ///
+    /// Checks, in order:
+    ///
+    /// 1. Register Sharing Table integrity ([`RegSharingTable::audit`]):
+    ///    merge-provenance bits only on set sharing bits, no pair bits
+    ///    beyond the pairs that exist.
+    /// 2. ITID masks: every in-flight uop and every decode-queue entry
+    ///    owns only hardware threads that exist, and a uop's committed
+    ///    mask never exceeds its ownership mask.
+    /// 3. Writer-counter balance: each thread's per-register in-flight
+    ///    writer counters (the paper's "Reg State" vectors) must equal
+    ///    the number of uncommitted uops in that thread's commit queue
+    ///    that write the register — a mismatch means a leak in the
+    ///    fetch-increment / commit-decrement protocol.
+    ///
+    /// Cost is `O(in-flight uops × threads)`, so the per-cycle call is
+    /// gated behind the `check-invariants` feature; calling it manually
+    /// from tests is always available.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        self.rst.audit()?;
+
+        let live_mask: u8 = (1u8 << self.threads.len()) - 1;
+        for (id, u) in self.uops.iter().enumerate() {
+            let mask = u.itid.mask();
+            if mask & !live_mask != 0 {
+                return Err(format!(
+                    "uop {id}: itid mask {mask:#06b} names threads beyond the {} configured",
+                    self.threads.len()
+                ));
+            }
+            if u.committed_mask & !mask != 0 {
+                return Err(format!(
+                    "uop {id}: committed mask {:#06b} exceeds itid mask {mask:#06b}",
+                    u.committed_mask
+                ));
+            }
+        }
+        for (i, mo) in self.decode_queue.iter().enumerate() {
+            let mask = mo.itid.mask();
+            if mask & !live_mask != 0 {
+                return Err(format!(
+                    "decode entry {i} (pc {}): itid mask {mask:#06b} names threads beyond the {} configured",
+                    mo.pc,
+                    self.threads.len()
+                ));
+            }
+        }
+
+        for (t, ts) in self.threads.iter().enumerate() {
+            let mut expected = [0u32; NUM_REGS];
+            for &id in &ts.commit_queue {
+                let u = &self.uops[id];
+                if u.committed_mask & (1 << t) != 0 {
+                    continue;
+                }
+                if let Some(rd) = u.inst.dest().filter(|r| !r.is_zero()) {
+                    expected[rd.index()] += 1;
+                }
+            }
+            for (r, &want) in expected.iter().enumerate() {
+                if ts.writers[r] != want {
+                    return Err(format!(
+                        "thread {t}: writer counter for r{r} is {} but {want} uncommitted writers are in flight",
+                        ts.writers[r]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Test hook: mutable access to the Register Sharing Table, so tests
+    /// can inject corruption mid-run and prove the differential oracle /
+    /// invariant audit catches it. Not part of the stable API.
+    #[doc(hidden)]
+    pub fn rst_mut(&mut self) -> &mut RegSharingTable {
+        &mut self.rst
+    }
+
+    /// The merge events recorded so far (empty unless
+    /// [`SimConfig::record_merge_log`](crate::SimConfig) is set). Lets a
+    /// driver check merges incrementally while stepping with
+    /// [`Self::step_cycle`] instead of waiting for [`Self::finish`].
+    pub fn merge_log(&self) -> &[crate::audit::MergeEvent] {
+        &self.merge_log
     }
 
     // ----------------------------------------------------------------
@@ -763,7 +918,9 @@ impl Simulator {
         // only after resource checks pass.
         #[allow(clippy::while_let_loop)]
         loop {
-            let Some(mo) = self.decode_queue.front() else { break };
+            let Some(mo) = self.decode_queue.front() else {
+                break;
+            };
             if mo.ready_at > self.now || slots == 0 {
                 break;
             }
@@ -878,21 +1035,40 @@ impl Simulator {
                 } else {
                     0
                 };
-                // In debug runs, enforce the merged-execution soundness
-                // invariant: every owning thread must produce the same
-                // result (the RST may only merge value-identical work).
-                #[cfg(debug_assertions)]
-                if part.itid.is_merged() && !part.lvip_speculative {
-                    let lead = part.itid.lead();
-                    let lead_res = mo.infos[lead].as_ref().and_then(|i| i.result);
+                if part.itid.is_merged() && self.cfg.record_merge_log {
+                    // Differential-checking mode: hand every merge
+                    // decision (with its functional ground truth) to the
+                    // offline oracle instead of asserting in-line, so an
+                    // injected corruption reaches the checker.
+                    let mut records = [None; MAX_THREADS];
                     for t in part.itid.threads() {
-                        debug_assert_eq!(
-                            mo.infos[t].as_ref().and_then(|i| i.result),
-                            lead_res,
-                            "unsound merge at pc {} ({})",
-                            mo.pc,
-                            mo.inst
-                        );
+                        records[t] = mo.infos[t].map(mmt_isa::trace::TraceRecord::from);
+                    }
+                    self.merge_log.push(crate::audit::MergeEvent {
+                        pc: mo.pc,
+                        inst: mo.inst,
+                        itid: part.itid,
+                        records,
+                        lvip_speculative: part.lvip_speculative,
+                    });
+                } else if part.itid.is_merged() && !part.lvip_speculative {
+                    // In debug runs, enforce the merged-execution
+                    // soundness invariant: every owning thread must
+                    // produce the same result (the RST may only merge
+                    // value-identical work).
+                    #[cfg(debug_assertions)]
+                    {
+                        let lead = part.itid.lead();
+                        let lead_res = mo.infos[lead].as_ref().and_then(|i| i.result);
+                        for t in part.itid.threads() {
+                            debug_assert_eq!(
+                                mo.infos[t].as_ref().and_then(|i| i.result),
+                                lead_res,
+                                "unsound merge at pc {} ({})",
+                                mo.pc,
+                                mo.inst
+                            );
+                        }
                     }
                 }
 
@@ -987,8 +1163,7 @@ impl Simulator {
                     } else {
                         // Collapse into the cycle bound so fetchable() is
                         // a single comparison.
-                        self.threads[t].blocked_until =
-                            self.threads[t].blocked_until.max(resume);
+                        self.threads[t].blocked_until = self.threads[t].blocked_until.max(resume);
                         self.threads[t].blocked_on = None;
                     }
                 }
@@ -1087,12 +1262,10 @@ impl Simulator {
             // A group is throttled when ANY member is being caught up to
             // — otherwise a singleton chasing a thread inside a merged
             // group can never close on it.
-            let throttled = self.cfg.level.shared_fetch()
-                && members.threads().any(|t| self.sync.throttled(t));
+            let throttled =
+                self.cfg.level.shared_fetch() && members.threads().any(|t| self.sync.throttled(t));
             let pick = match self.cfg.fetch_policy {
-                FetchPolicy::ICount => {
-                    members.threads().map(|t| self.threads[t].inflight).sum()
-                }
+                FetchPolicy::ICount => members.threads().map(|t| self.threads[t].inflight).sum(),
                 FetchPolicy::RoundRobin => ((lead as u64) + now) % MAX_THREADS as u64,
             };
             (!boosted, throttled, pick, lead)
@@ -1130,9 +1303,8 @@ impl Simulator {
                 if !skip {
                     self.threads[lead].hint_skip_pc = None;
                 }
-                let partner_exists = (0..self.threads.len()).any(|u| {
-                    !members.contains(u) && !self.threads[u].halted_fetch
-                });
+                let partner_exists = (0..self.threads.len())
+                    .any(|u| !members.contains(u) && !self.threads[u].halted_fetch);
                 // A partner already waiting at a *different* join means we
                 // should keep running toward it instead of deadlocking at
                 // our own.
@@ -1267,7 +1439,7 @@ impl Simulator {
                 let info = ts.machine.step(&self.program, mem)?;
                 infos[t] = Some(info);
             }
-            let inst = infos[lead].expect("lead stepped").inst;
+            let inst = member_info(&infos, lead, pc, "lead of a fetch group was not stepped")?.inst;
             fetched += 1;
             self.stats.macro_ops_fetched += 1;
 
@@ -1283,7 +1455,7 @@ impl Simulator {
 
             // Control-flow and halt handling decide whether fetch for
             // this entity continues this cycle.
-            let flow = self.post_fetch_control(members, pc, inst, &infos);
+            let flow = self.post_fetch_control(members, pc, inst, &infos)?;
 
             // CATCHUP completion: the behind thread has reached the ahead
             // thread's PC — merge now so the next cycle fetches them as a
@@ -1326,7 +1498,7 @@ impl Simulator {
         pc: u64,
         inst: Inst,
         infos: &[Option<StepInfo>; MAX_THREADS],
-    ) -> FetchFlow {
+    ) -> Result<FetchFlow, SimError> {
         let lead = members.lead();
         match inst {
             Inst::Halt => {
@@ -1336,14 +1508,20 @@ impl Simulator {
                         self.sync.force_detect(t);
                     }
                 }
-                FetchFlow::EndCycle
+                Ok(FetchFlow::EndCycle)
             }
             Inst::Br { .. } => {
                 self.stats.branches += members.count() as u64;
                 self.stats.energy.bpred_accesses += 1 + members.count() as u64;
                 let predicted_taken = self.bpred.predict(lead, pc);
                 for t in members.threads() {
-                    let taken = infos[t].expect("member stepped").taken.unwrap_or(false);
+                    let taken = member_info(infos, t, pc, "conditional branch member")?
+                        .taken
+                        .ok_or(SimError::Desync {
+                            pc,
+                            thread: t,
+                            context: "conditional branch step recorded no direction",
+                        })?;
                     self.bpred.update(t, pc, taken);
                 }
                 self.resolve_control(members, pc, infos, predicted_taken)
@@ -1356,27 +1534,25 @@ impl Simulator {
                 }
                 // Static target: always predicted correctly.
                 for t in members.threads() {
-                    let target = infos[t].expect("member stepped").next_pc;
+                    let target = member_info(infos, t, pc, "direct jump member")?.next_pc;
                     if self.cfg.level.shared_fetch() {
                         self.record_taken_branch(t, target);
                     }
                 }
-                match self.cfg.fetch_style {
+                Ok(match self.cfg.fetch_style {
                     FetchStyle::Conventional => FetchFlow::EndCycle,
                     FetchStyle::TraceCache => FetchFlow::Continue,
-                }
+                })
             }
             Inst::Jr { .. } => {
                 // Predict through the RAS; resolve per member.
-                let predictions: Vec<Option<u64>> = members
-                    .threads()
-                    .map(|t| self.rases[t].pop())
-                    .collect();
+                let predictions: Vec<Option<u64>> =
+                    members.threads().map(|t| self.rases[t].pop()).collect();
                 let lead_pred = predictions.first().copied().flatten();
                 let mut mispredicted = false;
                 let mut targets: Vec<(usize, u64)> = Vec::new();
                 for t in members.threads() {
-                    let target = infos[t].expect("member stepped").next_pc;
+                    let target = member_info(infos, t, pc, "indirect jump member")?.next_pc;
                     targets.push((t, target));
                 }
                 let uniform = targets.windows(2).all(|w| w[0].1 == w[1].1);
@@ -1391,20 +1567,20 @@ impl Simulator {
                     }
                     if mispredicted {
                         self.stats.branch_mispredicts += members.count() as u64;
-                        self.block_members(members);
-                        FetchFlow::EndCycle
+                        self.block_members(members, pc)?;
+                        Ok(FetchFlow::EndCycle)
                     } else {
-                        match self.cfg.fetch_style {
+                        Ok(match self.cfg.fetch_style {
                             FetchStyle::Conventional => FetchFlow::EndCycle,
                             FetchStyle::TraceCache => FetchFlow::Continue,
-                        }
+                        })
                     }
                 } else {
-                    self.diverge_members(members, &targets, lead_pred);
-                    FetchFlow::EndCycle
+                    self.diverge_members(members, pc, &targets, lead_pred)?;
+                    Ok(FetchFlow::EndCycle)
                 }
             }
-            _ => FetchFlow::Continue,
+            _ => Ok(FetchFlow::Continue),
         }
     }
 
@@ -1415,23 +1591,22 @@ impl Simulator {
         pc: u64,
         infos: &[Option<StepInfo>; MAX_THREADS],
         predicted_taken: bool,
-    ) -> FetchFlow {
-        let targets: Vec<(usize, u64)> = members
-            .threads()
-            .map(|t| (t, infos[t].expect("member stepped").next_pc))
-            .collect();
-        let takens: Vec<(usize, bool)> = members
-            .threads()
-            .map(|t| (t, infos[t].expect("member stepped").taken == Some(true)))
-            .collect();
+    ) -> Result<FetchFlow, SimError> {
+        let mut targets: Vec<(usize, u64)> = Vec::new();
+        let mut takens: Vec<(usize, bool)> = Vec::new();
+        for t in members.threads() {
+            let info = member_info(infos, t, pc, "conditional branch member")?;
+            targets.push((t, info.next_pc));
+            takens.push((t, info.taken == Some(true)));
+        }
         let uniform = takens.windows(2).all(|w| w[0].1 == w[1].1);
 
         if uniform {
             let taken = takens[0].1;
             if predicted_taken != taken {
                 self.stats.branch_mispredicts += members.count() as u64;
-                self.block_members(members);
-                return FetchFlow::EndCycle;
+                self.block_members(members, pc)?;
+                return Ok(FetchFlow::EndCycle);
             }
             if taken {
                 let target = targets[0].1;
@@ -1445,14 +1620,14 @@ impl Simulator {
                     }
                 }
                 if !btb_hit {
-                    return FetchFlow::EndCycle;
+                    return Ok(FetchFlow::EndCycle);
                 }
-                match self.cfg.fetch_style {
+                Ok(match self.cfg.fetch_style {
                     FetchStyle::Conventional => FetchFlow::EndCycle,
                     FetchStyle::TraceCache => FetchFlow::Continue,
-                }
+                })
             } else {
-                FetchFlow::Continue
+                Ok(FetchFlow::Continue)
             }
         } else {
             // Divergence: the merged group's threads disagree.
@@ -1467,8 +1642,8 @@ impl Simulator {
             } else {
                 pc + 1
             };
-            self.diverge_members_with_pred(members, &targets, predicted_next, Some(pc + 1));
-            FetchFlow::EndCycle
+            self.diverge_members_with_pred(members, pc, &targets, predicted_next, Some(pc + 1))?;
+            Ok(FetchFlow::EndCycle)
         }
     }
 
@@ -1496,7 +1671,9 @@ impl Simulator {
                     "cyc {} CATCHUP t{behind} -> t{ahead} (delta {}) groups {:?}",
                     self.now,
                     self.pair_progress_delta(behind, ahead),
-                    (0..self.threads.len()).map(|t| self.sync.group_mask(t)).collect::<Vec<_>>()
+                    (0..self.threads.len())
+                        .map(|t| self.sync.group_mask(t))
+                        .collect::<Vec<_>>()
                 );
             }
             if self.pair_progress_delta(behind, ahead) + CATCHUP_ENTRY_SLACK as i64 > 0 {
@@ -1511,19 +1688,30 @@ impl Simulator {
     /// Block every member's fetch until the just-fetched control
     /// instruction (the newest decode-queue entry) executes, plus the
     /// redirect penalty — the mispredict stall.
-    fn block_members(&mut self, members: Itid) {
+    fn block_members(&mut self, members: Itid, pc: u64) -> Result<(), SimError> {
         for t in members.threads() {
             self.threads[t].blocked_on = Some(PENDING_UOP);
         }
         self.decode_queue
             .back_mut()
-            .expect("blocking instruction was just pushed")
+            .ok_or(SimError::Desync {
+                pc,
+                thread: members.lead(),
+                context: "mispredict block with no just-fetched decode entry",
+            })?
             .blocks_mask |= members.mask();
+        Ok(())
     }
 
-    fn diverge_members(&mut self, members: Itid, targets: &[(usize, u64)], lead_pred: Option<u64>) {
+    fn diverge_members(
+        &mut self,
+        members: Itid,
+        pc: u64,
+        targets: &[(usize, u64)],
+        lead_pred: Option<u64>,
+    ) -> Result<(), SimError> {
         let predicted_next = lead_pred.unwrap_or(targets[0].1);
-        self.diverge_members_with_pred(members, targets, predicted_next, None);
+        self.diverge_members_with_pred(members, pc, targets, predicted_next, None)
     }
 
     /// Split a merged group whose members resolved a control transfer
@@ -1532,10 +1720,11 @@ impl Simulator {
     fn diverge_members_with_pred(
         &mut self,
         members: Itid,
+        pc: u64,
         targets: &[(usize, u64)],
         predicted_next: u64,
         fallthrough: Option<u64>,
-    ) {
+    ) -> Result<(), SimError> {
         // Partition members by their actual next PC.
         let mut parts: Vec<(u64, u8)> = Vec::new();
         for &(t, next) in targets {
@@ -1577,8 +1766,9 @@ impl Simulator {
             }
         }
         if blocked_mask != 0 {
-            self.block_members(Itid::from_mask(blocked_mask));
+            self.block_members(Itid::from_mask(blocked_mask), pc)?;
         }
+        Ok(())
     }
 
     /// Read-only access to the accumulated statistics (useful for tests
@@ -1591,6 +1781,23 @@ impl Simulator {
 enum FetchFlow {
     Continue,
     EndCycle,
+}
+
+/// Fetch the functional step record the front end is required to record
+/// for every member thread it steps. Absence means the fetch group and
+/// the per-member records went out of sync — a simulator bug reported as
+/// [`SimError::Desync`] instead of a panic.
+fn member_info<'a>(
+    infos: &'a [Option<StepInfo>; MAX_THREADS],
+    t: usize,
+    pc: u64,
+    context: &'static str,
+) -> Result<&'a StepInfo, SimError> {
+    infos[t].as_ref().ok_or(SimError::Desync {
+        pc,
+        thread: t,
+        context,
+    })
 }
 
 /// Cycle range for the per-cycle debug trace, parsed once from

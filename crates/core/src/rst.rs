@@ -161,6 +161,48 @@ impl RegSharingTable {
         self.merge_sets += 1;
     }
 
+    /// Audit structural invariants of the table (used by
+    /// `Simulator::validate`): every provenance bit must annotate a set
+    /// sharing bit (`by_merge ⊆ shared`), and no entry may carry bits
+    /// beyond the [`NUM_PAIRS`] that exist. Both hold by construction —
+    /// [`Self::set_merged`] sets `shared` alongside `by_merge`, and
+    /// [`Self::update_dest`] clears provenance for every bit it touches —
+    /// so a violation means state corruption.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first corrupt entry.
+    pub fn audit(&self) -> Result<(), String> {
+        let valid: u8 = (1 << NUM_PAIRS) - 1;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.shared & !valid != 0 || e.by_merge & !valid != 0 {
+                return Err(format!(
+                    "rst: register r{i} has pair bits beyond NUM_PAIRS (shared={:#04x}, by_merge={:#04x})",
+                    e.shared, e.by_merge
+                ));
+            }
+            if e.by_merge & !e.shared != 0 {
+                return Err(format!(
+                    "rst: register r{i} has merge provenance without sharing (shared={:#08b}, by_merge={:#08b})",
+                    e.shared, e.by_merge
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Test hook: corrupt the entry for `r` by setting the pair's
+    /// provenance bit *without* the sharing bit — a state normal
+    /// operation can never produce, used to prove [`Self::audit`] and
+    /// `Simulator::validate` actually detect corruption.
+    #[doc(hidden)]
+    pub fn debug_corrupt_provenance(&mut self, r: Reg, t: usize, u: usize) {
+        let bit = 1 << pair_index(t, u);
+        let e = &mut self.entries[r.index()];
+        e.shared &= !bit;
+        e.by_merge |= bit;
+    }
+
     /// Number of destination updates performed (energy accounting: the
     /// RST update logic runs for every renamed instruction).
     pub fn update_count(&self) -> u64 {
@@ -268,7 +310,10 @@ mod tests {
         assert!(!rst.pair_shared(Reg::R9, 0, 1));
         assert!(!rst.pair_shared(Reg::R9, 1, 2));
         assert!(!rst.pair_shared(Reg::R9, 1, 3));
-        assert!(rst.pair_shared(Reg::R9, 0, 2), "non-writer pairs keep state");
+        assert!(
+            rst.pair_shared(Reg::R9, 0, 2),
+            "non-writer pairs keep state"
+        );
     }
 
     #[test]
@@ -295,6 +340,32 @@ mod tests {
     }
 
     #[test]
+    fn audit_passes_through_normal_operation() {
+        let mut rst = RegSharingTable::new_all_shared();
+        assert!(rst.audit().is_ok());
+        rst.update_dest(
+            Reg::R3,
+            Itid::all(4),
+            &[Itid::from_mask(0b0011), Itid::from_mask(0b1100)],
+        );
+        rst.set_merged(Reg::R3, 0, 2);
+        rst.update_dest(
+            Reg::R3,
+            Itid::from_mask(0b0101),
+            &[Itid::single(0), Itid::single(2)],
+        );
+        assert!(rst.audit().is_ok());
+    }
+
+    #[test]
+    fn audit_catches_corrupted_provenance() {
+        let mut rst = RegSharingTable::new_all_shared();
+        rst.debug_corrupt_provenance(Reg::R7, 1, 3);
+        let err = rst.audit().unwrap_err();
+        assert!(err.contains("r7"), "error names the register: {err}");
+    }
+
+    #[test]
     fn group_shared_requires_every_pair() {
         let mut rst = RegSharingTable::new_all_shared();
         rst.update_dest(
@@ -304,6 +375,9 @@ mod tests {
         );
         assert!(rst.group_shared(Reg::R6, Itid::from_mask(0b0111)));
         assert!(!rst.group_shared(Reg::R6, Itid::all(4)));
-        assert!(rst.group_shared(Reg::R6, Itid::single(3)), "singleton trivially shared");
+        assert!(
+            rst.group_shared(Reg::R6, Itid::single(3)),
+            "singleton trivially shared"
+        );
     }
 }

@@ -183,11 +183,7 @@ fn choose_largest_shared_subset(
     }
 }
 
-fn subset_fully_shared(
-    mask: u8,
-    sources: &mmt_isa::inst::Sources,
-    rst: &RegSharingTable,
-) -> bool {
+fn subset_fully_shared(mask: u8, sources: &mmt_isa::inst::Sources, rst: &RegSharingTable) -> bool {
     if mask.count_ones() < 2 {
         return mask != 0;
     }
@@ -293,12 +289,26 @@ mod tests {
         let mut rst = RegSharingTable::new_all_shared();
         let mut lvip = Lvip::new(16);
         let itid = Itid::from_mask(0b0110);
-        let merged = split_at(alu(), itid, MemSharing::Shared, MmtLevel::Fx, &rst, &mut lvip);
+        let merged = split_at(
+            alu(),
+            itid,
+            MemSharing::Shared,
+            MmtLevel::Fx,
+            &rst,
+            &mut lvip,
+        );
         assert_eq!(merged.itids(), vec![itid]);
 
         // Now make r1 differ between threads 1 and 2.
         rst.update_dest(Reg::R1, itid, &[Itid::single(1), Itid::single(2)]);
-        let split = split_at(alu(), itid, MemSharing::Shared, MmtLevel::Fx, &rst, &mut lvip);
+        let split = split_at(
+            alu(),
+            itid,
+            MemSharing::Shared,
+            MmtLevel::Fx,
+            &rst,
+            &mut lvip,
+        );
         assert_eq!(
             split.itids(),
             vec![Itid::from_mask(0b0010), Itid::from_mask(0b0100)]
@@ -311,9 +321,20 @@ mod tests {
         // with ITIDs 1000, 0100, 0010, and 0001" (Section 4.2).
         let mut rst = RegSharingTable::new_all_shared();
         let all = Itid::all(4);
-        rst.update_dest(Reg::R1, all, [0, 1, 2, 3].map(Itid::single).to_vec().as_slice());
+        rst.update_dest(
+            Reg::R1,
+            all,
+            [0, 1, 2, 3].map(Itid::single).to_vec().as_slice(),
+        );
         let mut lvip = Lvip::new(16);
-        let out = split_at(alu(), all, MemSharing::Shared, MmtLevel::Fxr, &rst, &mut lvip);
+        let out = split_at(
+            alu(),
+            all,
+            MemSharing::Shared,
+            MmtLevel::Fxr,
+            &rst,
+            &mut lvip,
+        );
         assert_eq!(out.parts.len(), 4);
         let mut covered = 0u8;
         for p in &out.parts {
@@ -330,7 +351,14 @@ mod tests {
         let all = Itid::all(4);
         rst.update_dest(Reg::R2, all, &[Itid::from_mask(0b0111), Itid::single(3)]);
         let mut lvip = Lvip::new(16);
-        let out = split_at(alu(), all, MemSharing::Shared, MmtLevel::Fx, &rst, &mut lvip);
+        let out = split_at(
+            alu(),
+            all,
+            MemSharing::Shared,
+            MmtLevel::Fx,
+            &rst,
+            &mut lvip,
+        );
         assert_eq!(
             out.itids(),
             vec![Itid::from_mask(0b0111), Itid::single(3)],
@@ -350,9 +378,20 @@ mod tests {
         rst.set_merged(Reg::R2, 1, 2);
         let itid = Itid::from_mask(0b0111);
         let mut lvip = Lvip::new(16);
-        let out = split_at(alu(), itid, MemSharing::Shared, MmtLevel::Fx, &rst, &mut lvip);
+        let out = split_at(
+            alu(),
+            itid,
+            MemSharing::Shared,
+            MmtLevel::Fx,
+            &rst,
+            &mut lvip,
+        );
         assert_eq!(out.parts.len(), 2);
-        let covered: u8 = out.parts.iter().map(|p| p.itid.mask()).fold(0, |a, b| a | b);
+        let covered: u8 = out
+            .parts
+            .iter()
+            .map(|p| p.itid.mask())
+            .fold(0, |a, b| a | b);
         assert_eq!(covered, 0b0111);
         // Deterministic tie-break: lowest mask among largest subsets.
         assert_eq!(out.parts[0].itid.mask(), 0b0011);

@@ -71,7 +71,10 @@ pub struct IdentityCounts {
 impl IdentityCounts {
     /// Total thread-instructions classified.
     pub fn total(&self) -> u64 {
-        self.fetch_identical + self.execute_identical + self.execute_identical_regmerge + self.private
+        self.fetch_identical
+            + self.execute_identical
+            + self.execute_identical_regmerge
+            + self.private
     }
 }
 

@@ -1,0 +1,207 @@
+//! Differential checking of the timing model against `mmt-analysis`.
+//!
+//! The simulator is oracle-functional: architected results come from the
+//! functional interpreter, so an unsound Register Sharing Table merge
+//! cannot corrupt a final register value — it can only silently inflate
+//! the merging statistics. These tests close that loop: every run records
+//! its merge log and the static redundancy oracle replays it, verifying
+//! each merged dispatch really joined execute-identical instructions.
+//! Deliberate RST corruptions then prove the net actually catches.
+
+use mmt_analysis::Oracle;
+use mmt_isa::asm::Builder;
+use mmt_isa::interp::Memory;
+use mmt_isa::{MemSharing, Program, Reg};
+use mmt_sim::{MmtLevel, RunSpec, SimConfig, Simulator};
+use mmt_workloads::{all_apps, App};
+
+/// Iteration divisor for suite apps: big enough to exercise divergence
+/// and remerge, small enough for a test suite.
+const SCALE: u64 = 16;
+
+fn logged_config(threads: usize) -> SimConfig {
+    let mut cfg = SimConfig::paper_with(threads, MmtLevel::Fxr);
+    cfg.record_merge_log = true;
+    cfg
+}
+
+fn run_app_with_log(app: &App, threads: usize) -> (Program, MemSharing, mmt_sim::SimResult) {
+    let w = app.instance(threads, SCALE);
+    let spec = RunSpec {
+        program: w.program.clone(),
+        sharing: w.sharing,
+        memories: w.memories,
+        threads: w.threads,
+    };
+    let result = Simulator::new(logged_config(threads), spec)
+        .expect("suite spec is valid")
+        .run()
+        .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+    (w.program, w.sharing, result)
+}
+
+fn suite_by_sharing(sharing: MemSharing) -> Vec<App> {
+    all_apps()
+        .into_iter()
+        .filter(|a| a.spec.sharing == sharing)
+        .collect()
+}
+
+#[test]
+fn oracle_validates_shared_memory_workload_merge_logs() {
+    let apps = suite_by_sharing(MemSharing::Shared);
+    assert!(apps.len() >= 3, "suite has multi-threaded apps");
+    for app in &apps {
+        let (program, sharing, result) = run_app_with_log(app, 2);
+        assert!(
+            !result.merge_log.is_empty(),
+            "{}: MMT found no merged work at all",
+            app.name
+        );
+        let oracle = Oracle::new(&program, sharing);
+        let report = oracle
+            .check(&result.merge_log)
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        assert_eq!(report.events, result.merge_log.len());
+        assert!(
+            report.must_merge + report.may_merge == report.events,
+            "{}: every event classified",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn oracle_validates_per_thread_memory_workload_merge_logs() {
+    let apps = suite_by_sharing(MemSharing::PerThread);
+    assert!(apps.len() >= 3, "suite has multi-execution apps");
+    for app in &apps {
+        let (program, sharing, result) = run_app_with_log(app, 2);
+        assert!(
+            !result.merge_log.is_empty(),
+            "{}: multi-execution found no merged work",
+            app.name
+        );
+        let oracle = Oracle::new(&program, sharing);
+        let report = oracle
+            .check(&result.merge_log)
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        assert_eq!(report.events, result.merge_log.len());
+    }
+}
+
+#[test]
+fn oracle_validates_four_thread_runs() {
+    for app in suite_by_sharing(MemSharing::Shared).iter().take(2) {
+        let (program, sharing, result) = run_app_with_log(app, 4);
+        let oracle = Oracle::new(&program, sharing);
+        oracle
+            .check(&result.merge_log)
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+    }
+}
+
+/// A two-thread kernel where `r1` holds the thread id: any merge of the
+/// `add r4, r1, r1` in the loop is unsound by construction.
+fn tid_loop() -> Program {
+    let mut b = Builder::new();
+    let top = b.label();
+    b.tid(Reg::R1);
+    b.addi(Reg::R3, Reg::R0, 200);
+    b.bind(top);
+    b.alu_add(Reg::R4, Reg::R1, Reg::R1);
+    b.addi(Reg::R3, Reg::R3, -1);
+    b.bne(Reg::R3, Reg::R0, top);
+    b.halt();
+    b.build().unwrap()
+}
+
+fn tid_loop_sim() -> Simulator {
+    let program = tid_loop();
+    Simulator::new(
+        logged_config(2),
+        RunSpec {
+            program,
+            sharing: MemSharing::Shared,
+            memories: vec![Memory::new(0)],
+            threads: 2,
+        },
+    )
+    .expect("valid spec")
+}
+
+#[test]
+fn corrupted_rst_merge_is_caught_by_the_oracle() {
+    let program = tid_loop();
+    let mut sim = tid_loop_sim();
+    // Let the pipeline warm up soundly until loop iterations are flowing
+    // (cold instruction-cache misses delay the first dispatch by a few
+    // hundred cycles; corrupting earlier would be overwritten by the
+    // `tid` instruction's own legitimate RST destination update). Then
+    // corrupt the RST: claim the thread-id register is shared between
+    // threads 0 and 1. The splitter now merges `add r4, r1, r1` even
+    // though the operand values differ.
+    while sim.merge_log().len() < 50 {
+        assert!(!sim.finished(), "loop must outlast the warm-up");
+        sim.step_cycle().expect("sound prefix");
+    }
+    sim.rst_mut().set_merged(Reg::R1, 0, 1);
+    while !sim.finished() {
+        sim.step_cycle().expect("cycle limit not hit");
+    }
+    let result = sim.finish();
+
+    let oracle = Oracle::new(&program, MemSharing::Shared);
+    let err = oracle
+        .check(&result.merge_log)
+        .expect_err("an RST corruption must not replay clean");
+    assert!(
+        err.contains("unsound merge"),
+        "diagnostic names the defect: {err}"
+    );
+}
+
+#[test]
+fn uncorrupted_tid_loop_replays_clean() {
+    // Control for the corruption test: the same kernel without the
+    // forced RST entry passes the oracle.
+    let program = tid_loop();
+    let result = tid_loop_sim().run().expect("terminates");
+    let oracle = Oracle::new(&program, MemSharing::Shared);
+    oracle
+        .check(&result.merge_log)
+        .expect("sound run replays clean");
+}
+
+#[test]
+fn corrupted_rst_provenance_is_caught_by_validate() {
+    let mut sim = tid_loop_sim();
+    for _ in 0..10 {
+        sim.step_cycle().expect("sound prefix");
+    }
+    sim.validate().expect("healthy pipeline validates clean");
+    // A merge-provenance bit without the matching shared bit can only
+    // come from a bookkeeping bug; `validate` (the per-cycle audit under
+    // the `check-invariants` feature) must flag it.
+    sim.rst_mut().debug_corrupt_provenance(Reg::R7, 0, 1);
+    let err = sim.validate().expect_err("corruption must not validate");
+    assert!(err.contains("r7"), "diagnostic names the register: {err}");
+}
+
+#[test]
+fn merge_log_is_empty_unless_requested() {
+    let program = tid_loop();
+    let result = Simulator::new(
+        SimConfig::paper_with(2, MmtLevel::Fxr),
+        RunSpec {
+            program,
+            sharing: MemSharing::Shared,
+            memories: vec![Memory::new(0)],
+            threads: 2,
+        },
+    )
+    .expect("valid spec")
+    .run()
+    .expect("terminates");
+    assert!(result.merge_log.is_empty());
+}

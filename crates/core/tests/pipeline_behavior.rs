@@ -280,7 +280,10 @@ fn me_identical_inputs_behave_like_limit() {
         2,
         MmtLevel::Fxr,
     );
-    assert_eq!(r.stats.lvip_mispredicts, 0, "identical memories never roll back");
+    assert_eq!(
+        r.stats.lvip_mispredicts, 0,
+        "identical memories never roll back"
+    );
     let id = &r.stats.identity;
     assert!(
         (id.execute_identical + id.execute_identical_regmerge) as f64 / id.total() as f64 > 0.8,
@@ -308,7 +311,10 @@ fn me_differing_loads_split_and_learn() {
         2,
         MmtLevel::Fxr,
     );
-    assert!(r.stats.lvip_mispredicts > 0, "differing values must be caught");
+    assert!(
+        r.stats.lvip_mispredicts > 0,
+        "differing values must be caught"
+    );
     assert!(
         r.stats.lvip_mispredicts < 10,
         "the LVIP must learn the bad PC quickly, got {}",
@@ -366,7 +372,10 @@ fn four_threads_converge_and_merge() {
         MmtLevel::Fxr,
     );
     let (m, _, _) = r.stats.fetch_modes.fractions();
-    assert!(m > 0.9, "4-thread convergent code should stay merged, got {m}");
+    assert!(
+        m > 0.9,
+        "4-thread convergent code should stay merged, got {m}"
+    );
     for t in 1..4 {
         assert_eq!(r.final_regs[t], r.final_regs[0]);
     }

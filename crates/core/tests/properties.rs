@@ -3,10 +3,10 @@
 //! Table; ITID masks behave like sets; the LVIP is a proper tagged
 //! table.
 
+use mmt_isa::{AluOp, Inst, MemSharing, Reg};
 use mmt_sim::rst::{pair_index, RegSharingTable};
 use mmt_sim::split::split_instruction_at;
 use mmt_sim::{Itid, Lvip, MmtLevel};
-use mmt_isa::{AluOp, Inst, MemSharing, Reg};
 use proptest::prelude::*;
 
 fn alu_inst() -> Inst {
@@ -173,32 +173,48 @@ fn arb_small_spec() -> impl Strategy<Value = KernelSpec> {
             0usize..2,
             prop::sample::select(vec![0u64, 2, 7]),
         ),
-        (any::<bool>(), any::<bool>(), 0u8..=100, any::<bool>(), any::<u64>()),
+        (
+            any::<bool>(),
+            any::<bool>(),
+            0u8..=100,
+            any::<bool>(),
+            any::<u64>(),
+        ),
     )
-        .prop_map(|((mt, ca, cf, cl, pa, pl, st, div), (part, calls, me, chase, seed))| {
-            let sharing = if mt { MemSharing::Shared } else { MemSharing::PerThread };
-            KernelSpec {
-                sharing,
-                iters: 5,
-                common_alu: ca,
-                common_fpu: cf,
-                common_loads: cl,
-                private_alu: pa,
-                private_loads: pl,
-                stores: st,
-                divergence_inv: div,
-                divergence: DivergenceProfile::Short,
-                index_partitioned: part && sharing == MemSharing::Shared,
-                calls,
-                me_ident_pct: if sharing == MemSharing::PerThread { me } else { 0 },
-                pointer_chase: chase,
-                ws_words: 256,
-                inner_iters: 2,
-                unroll: 2,
-                barrier_every: 0,
-                seed,
-            }
-        })
+        .prop_map(
+            |((mt, ca, cf, cl, pa, pl, st, div), (part, calls, me, chase, seed))| {
+                let sharing = if mt {
+                    MemSharing::Shared
+                } else {
+                    MemSharing::PerThread
+                };
+                KernelSpec {
+                    sharing,
+                    iters: 5,
+                    common_alu: ca,
+                    common_fpu: cf,
+                    common_loads: cl,
+                    private_alu: pa,
+                    private_loads: pl,
+                    stores: st,
+                    divergence_inv: div,
+                    divergence: DivergenceProfile::Short,
+                    index_partitioned: part && sharing == MemSharing::Shared,
+                    calls,
+                    me_ident_pct: if sharing == MemSharing::PerThread {
+                        me
+                    } else {
+                        0
+                    },
+                    pointer_chase: chase,
+                    ws_words: 256,
+                    inner_iters: 2,
+                    unroll: 2,
+                    barrier_every: 0,
+                    seed,
+                }
+            },
+        )
 }
 
 proptest! {

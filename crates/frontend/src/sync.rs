@@ -175,7 +175,9 @@ impl FetchSync {
             a | p
         });
         debug_assert!(
-            (0..self.n).filter(|&t| whole & (1 << t) != 0).all(|t| self.groups[t] == whole),
+            (0..self.n)
+                .filter(|&t| whole & (1 << t) != 0)
+                .all(|t| self.groups[t] == whole),
             "parts must partition one existing group"
         );
         self.divergences += 1;
@@ -443,10 +445,17 @@ mod tests {
         s.record_taken(2, 500);
         assert!(matches!(
             s.record_taken(3, 500),
-            SyncEvent::CatchupEntered { behind: 3, ahead: 2 }
+            SyncEvent::CatchupEntered {
+                behind: 3,
+                ahead: 2
+            }
         ));
         s.force_detect(2); // thread 2 halts
-        assert_eq!(s.mode(3), SyncMode::Detect, "catchup to halted thread dropped");
+        assert_eq!(
+            s.mode(3),
+            SyncMode::Detect,
+            "catchup to halted thread dropped"
+        );
         // Breaking a 2-group demotes the survivor to Detect.
         s.force_detect(0);
         assert_eq!(s.mode(1), SyncMode::Detect);

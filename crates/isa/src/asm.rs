@@ -310,7 +310,9 @@ impl Builder {
                 referenced_at: fixup.inst_index,
             })?;
             match &mut self.insts[fixup.inst_index] {
-                Inst::Br { target: t, .. } | Inst::Jmp { target: t } | Inst::Jal { target: t, .. } => {
+                Inst::Br { target: t, .. }
+                | Inst::Jmp { target: t }
+                | Inst::Jal { target: t, .. } => {
                     *t = target;
                 }
                 other => unreachable!("fixup on non-control instruction {other}"),
@@ -385,7 +387,16 @@ mod tests {
     #[test]
     fn li_small_and_large() {
         use crate::interp::{Machine, Memory};
-        for v in [0i64, 5, -5, 1 << 20, -(1 << 20), i64::MAX, i64::MIN, 0x1234_5678_9abc_def0] {
+        for v in [
+            0i64,
+            5,
+            -5,
+            1 << 20,
+            -(1 << 20),
+            i64::MAX,
+            i64::MIN,
+            0x1234_5678_9abc_def0,
+        ] {
             let mut b = Builder::new();
             b.li(Reg::R1, v);
             b.halt();

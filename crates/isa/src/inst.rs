@@ -408,6 +408,16 @@ impl Inst {
             _ => None,
         }
     }
+
+    /// Whether execution can continue at `pc + 1` after this instruction:
+    /// true for everything except unconditional transfers (`jmp`, `jal`,
+    /// `jr`) and `halt`. Conditional branches fall through when not taken.
+    pub fn falls_through(&self) -> bool {
+        !matches!(
+            *self,
+            Inst::Jmp { .. } | Inst::Jal { .. } | Inst::Jr { .. } | Inst::Halt
+        )
+    }
 }
 
 impl fmt::Display for Inst {
@@ -535,6 +545,28 @@ mod tests {
         assert!(j.is_control());
         assert_eq!(j.static_target(), None);
         assert_eq!(Inst::Jmp { target: 7 }.static_target(), Some(7));
+    }
+
+    #[test]
+    fn fall_through_classification() {
+        assert!(!Inst::Jmp { target: 0 }.falls_through());
+        assert!(!Inst::Jal {
+            rd: Reg::Ra,
+            target: 0
+        }
+        .falls_through());
+        assert!(!Inst::Jr { rs: Reg::Ra }.falls_through());
+        assert!(!Inst::Halt.falls_through());
+        // Conditional branches fall through when not taken.
+        let br = Inst::Br {
+            cond: BrCond::Eq,
+            rs1: Reg::R1,
+            rs2: Reg::R2,
+            target: 3,
+        };
+        assert!(br.falls_through());
+        assert!(Inst::Nop.falls_through());
+        assert!(Inst::Tid { rd: Reg::R1 }.falls_through());
     }
 
     #[test]

@@ -288,9 +288,7 @@ impl Machine {
             return Err(ExecError::Halted);
         }
         let pc = self.pc;
-        let inst = prog
-            .fetch(pc)
-            .ok_or(ExecError::PcOutOfBounds { pc })?;
+        let inst = prog.fetch(pc).ok_or(ExecError::PcOutOfBounds { pc })?;
 
         let mut info = StepInfo {
             pc,

@@ -141,8 +141,11 @@ pub fn parse(source: &str) -> Result<Program, ParseError> {
 
 fn is_identifier(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
 }
 
 fn parse_reg(s: &str, line: usize) -> Result<Reg, ParseError> {
@@ -368,7 +371,14 @@ mod tests {
         ";
         let p = parse(src).unwrap();
         assert_eq!(p.len(), 16);
-        assert_eq!(p.fetch(4), Some(Inst::Ld { rd: Reg::R11, base: Reg::Sp, off: 4 }));
+        assert_eq!(
+            p.fetch(4),
+            Some(Inst::Ld {
+                rd: Reg::R11,
+                base: Reg::Sp,
+                off: 4
+            })
+        );
     }
 
     #[test]

@@ -133,28 +133,72 @@ fn arb_inst(len: usize) -> impl Strategy<Value = Inst> {
     let target = 0u64..len as u64;
     prop_oneof![
         (reg.clone(), reg.clone(), reg.clone(), 0usize..10).prop_map(|(rd, rs1, rs2, op)| {
-            let ops = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor,
-                       AluOp::Shl, AluOp::Shr, AluOp::Slt, AluOp::Mul, AluOp::Div];
-            Inst::Alu { op: ops[op], rd, rs1, rs2 }
+            let ops = [
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::And,
+                AluOp::Or,
+                AluOp::Xor,
+                AluOp::Shl,
+                AluOp::Shr,
+                AluOp::Slt,
+                AluOp::Mul,
+                AluOp::Div,
+            ];
+            Inst::Alu {
+                op: ops[op],
+                rd,
+                rs1,
+                rs2,
+            }
         }),
         (reg.clone(), reg.clone(), any::<i32>(), 0usize..10).prop_map(|(rd, rs1, imm, op)| {
-            let ops = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor,
-                       AluOp::Shl, AluOp::Shr, AluOp::Slt, AluOp::Mul, AluOp::Div];
-            Inst::AluI { op: ops[op], rd, rs1, imm: imm as i64 }
+            let ops = [
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::And,
+                AluOp::Or,
+                AluOp::Xor,
+                AluOp::Shl,
+                AluOp::Shr,
+                AluOp::Slt,
+                AluOp::Mul,
+                AluOp::Div,
+            ];
+            Inst::AluI {
+                op: ops[op],
+                rd,
+                rs1,
+                imm: imm as i64,
+            }
         }),
         (reg.clone(), reg.clone(), reg.clone(), 0usize..4).prop_map(|(rd, rs1, rs2, op)| {
             let ops = [FpuOp::Fadd, FpuOp::Fmul, FpuOp::Fdiv, FpuOp::Fsqrt];
-            Inst::Fpu { op: ops[op], rd, rs1, rs2 }
+            Inst::Fpu {
+                op: ops[op],
+                rd,
+                rs1,
+                rs2,
+            }
         }),
         (reg.clone(), reg.clone(), any::<i16>()).prop_map(|(rd, base, off)| Inst::Ld {
-            rd, base, off: off as i64
+            rd,
+            base,
+            off: off as i64
         }),
         (reg.clone(), reg.clone(), any::<i16>()).prop_map(|(src, base, off)| Inst::St {
-            src, base, off: off as i64
+            src,
+            base,
+            off: off as i64
         }),
         (reg.clone(), reg.clone(), target.clone(), 0usize..4).prop_map(|(rs1, rs2, t, c)| {
             let conds = [BrCond::Eq, BrCond::Ne, BrCond::Lt, BrCond::Ge];
-            Inst::Br { cond: conds[c], rs1, rs2, target: t }
+            Inst::Br {
+                cond: conds[c],
+                rs1,
+                rs2,
+                target: t,
+            }
         }),
         target.clone().prop_map(|t| Inst::Jmp { target: t }),
         (reg.clone(), target).prop_map(|(rd, t)| Inst::Jal { rd, target: t }),

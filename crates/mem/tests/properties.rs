@@ -125,6 +125,8 @@ proptest! {
 #[test]
 fn distinct_lines_count() {
     // Sanity for the property above: 4096 words cover 512 distinct lines.
-    let lines: HashSet<u64> = (0..4096u64).map(|w| mmt_mem::phys_addr(0, w) / 64).collect();
+    let lines: HashSet<u64> = (0..4096u64)
+        .map(|w| mmt_mem::phys_addr(0, w) / 64)
+        .collect();
     assert_eq!(lines.len(), 512);
 }

@@ -121,7 +121,9 @@ fn find_resync(a: &[TraceRecord], i: usize, b: &[TraceRecord], j: usize) -> Opti
                 break; // cannot beat the best total skip any more
             }
         }
-        let Some(h) = anchor_hash(a, i + di) else { break };
+        let Some(h) = anchor_hash(a, i + di) else {
+            break;
+        };
         if let Some(&dj) = index.get(&h) {
             // Verify (hash collision guard).
             if (0..ANCHOR_LEN).all(|k| a[i + di + k].fetch_identical(&b[j + dj + k])) {

@@ -74,7 +74,11 @@ fn figure1_profiles_within_calibration_bands() {
             ));
         }
     }
-    assert!(failures.is_empty(), "calibration drift:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "calibration drift:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]

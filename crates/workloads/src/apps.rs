@@ -78,7 +78,11 @@ impl App {
         input_id: u64,
     ) -> WorkloadInstance {
         let mut alt = self.clone();
-        alt.spec.seed = self.spec.seed.wrapping_mul(0x9e37_79b9).wrapping_add(input_id);
+        alt.spec.seed = self
+            .spec
+            .seed
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(input_id);
         alt.instance_inner(threads, scale, false)
     }
 
@@ -501,7 +505,9 @@ mod tests {
         assert_eq!(parsec.len(), 4);
         // Every spec is statically valid.
         for a in &apps {
-            a.spec.validate().unwrap_or_else(|e| panic!("{}: {e}", a.name));
+            a.spec
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", a.name));
         }
         // Names are unique.
         let mut names: Vec<_> = apps.iter().map(|a| a.name).collect();

@@ -39,7 +39,12 @@ fn build_shared_memory(spec: &KernelSpec, threads: usize) -> Memory {
         let priv_base = (layout::PRIV_BASE + t as i64 * layout::PRIV_STRIDE) as u64;
         let flag_base = (layout::FLAG_BASE + t as i64 * layout::FLAG_STRIDE) as u64;
         fill_private(&mut m, spec, priv_base, spec.seed ^ (0x9e37 + t as u64));
-        fill_flags(&mut m, spec, flag_base, spec.seed ^ (0xc2b2 + 31 * t as u64));
+        fill_flags(
+            &mut m,
+            spec,
+            flag_base,
+            spec.seed ^ (0xc2b2 + 31 * t as u64),
+        );
     }
     m
 }

@@ -132,7 +132,11 @@ pub fn generate_with_hints(spec: &KernelSpec, threads: usize, iters: u64) -> (Pr
     // data regions (divergence conditions in real code are computed from
     // resident data).
     if spec.divergence_inv > 0 {
-        b.andi(Reg::R25, R_STEP, (layout::FLAG_SIZE - 1).min(spec.ws_words - 1));
+        b.andi(
+            Reg::R25,
+            R_STEP,
+            (layout::FLAG_SIZE - 1).min(spec.ws_words - 1),
+        );
         b.alu_add(Reg::R25, R_FLAG, Reg::R25);
         b.ld(Reg::R26, Reg::R25, 0);
         b.bne(Reg::R26, Reg::R0, detour);
@@ -341,7 +345,11 @@ mod tests {
             divergence: DivergenceProfile::Short,
             index_partitioned: partitioned,
             calls,
-            me_ident_pct: if sharing == MemSharing::PerThread { 50 } else { 0 },
+            me_ident_pct: if sharing == MemSharing::PerThread {
+                50
+            } else {
+                0
+            },
             pointer_chase: false,
             ws_words: 256,
             inner_iters: 2,
@@ -391,7 +399,10 @@ mod tests {
         let s = spec(MemSharing::PerThread, false, false);
         let prog = generate(&s, 2, 64);
         assert!(
-            !prog.as_slice().iter().any(|i| matches!(i, mmt_isa::Inst::Tid { .. })),
+            !prog
+                .as_slice()
+                .iter()
+                .any(|i| matches!(i, mmt_isa::Inst::Tid { .. })),
             "ME kernels derive divergence from data, not tid"
         );
     }

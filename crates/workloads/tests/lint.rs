@@ -1,0 +1,140 @@
+//! Every program the kernel generator emits must be lint-clean: the
+//! `mmt-analysis` linter finds no errors (out-of-range targets, missing
+//! halts, reserved-region stores) in any suite application at any thread
+//! count, nor in arbitrary valid [`KernelSpec`]s.
+
+use mmt_analysis::lint_program;
+use mmt_isa::MemSharing;
+use mmt_workloads::spec::{layout, DivergenceProfile, KernelSpec};
+use mmt_workloads::{all_apps, generator};
+use proptest::prelude::*;
+
+fn assert_no_errors(prog: &mmt_isa::Program, context: &str) {
+    let errors: Vec<String> = lint_program(prog)
+        .iter()
+        .filter(|l| l.is_error())
+        .map(|l| l.to_string())
+        .collect();
+    assert!(errors.is_empty(), "{context}: {errors:?}");
+}
+
+#[test]
+fn every_suite_app_is_lint_clean_at_every_thread_count() {
+    for app in all_apps() {
+        for threads in 1..=4 {
+            for scale in [1, 16] {
+                let w = app.instance(threads, scale);
+                assert_no_errors(
+                    &w.program,
+                    &format!("{} ({threads} threads, /{scale})", app.name),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn limit_instances_are_lint_clean() {
+    for app in all_apps() {
+        let w = app.limit_instance(2, 16);
+        assert_no_errors(&w.program, &format!("{} (limit)", app.name));
+    }
+}
+
+/// Valid spec knob combinations, mirroring [`KernelSpec::validate`].
+fn arb_spec() -> impl Strategy<Value = KernelSpec> {
+    (
+        any::<bool>(), // shared vs per-thread
+        1u64..64,      // iters
+        0usize..6,     // common_alu
+        0usize..3,     // common_fpu
+        0usize..3,     // common_loads
+        0usize..6,     // private_alu
+        0usize..3,     // private_loads
+        0usize..3,     // stores
+        0u32..3,       // divergence_inv selector (0 disables)
+        any::<bool>(), // index_partitioned (mt only)
+        any::<bool>(), // calls
+        any::<bool>(), // pointer_chase
+        (4u32..=11),   // ws_words = 1 << exp, up to PRIV_SIZE
+        1i64..4,       // inner_iters
+        1usize..3,     // unroll
+        0u32..2,       // barrier selector (0 disables)
+    )
+        .prop_map(
+            |(
+                shared,
+                iters,
+                common_alu,
+                common_fpu,
+                common_loads,
+                private_alu,
+                private_loads,
+                stores,
+                div_sel,
+                index_partitioned,
+                calls,
+                pointer_chase,
+                ws_exp,
+                inner_iters,
+                unroll,
+                barrier_sel,
+            )| {
+                let sharing = if shared {
+                    MemSharing::Shared
+                } else {
+                    MemSharing::PerThread
+                };
+                KernelSpec {
+                    sharing,
+                    iters,
+                    common_alu,
+                    common_fpu,
+                    common_loads,
+                    private_alu,
+                    private_loads,
+                    stores,
+                    divergence_inv: [0, 8, 32][div_sel as usize],
+                    divergence: DivergenceProfile::Short,
+                    index_partitioned: index_partitioned && shared,
+                    calls,
+                    me_ident_pct: if shared { 0 } else { 50 },
+                    pointer_chase,
+                    ws_words: 1 << ws_exp,
+                    inner_iters,
+                    unroll,
+                    barrier_every: if shared && barrier_sel == 1 { 4 } else { 0 },
+                    seed: 7,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_valid_specs_generate_lint_clean_programs(
+        spec in arb_spec(),
+        threads in 1usize..=4,
+    ) {
+        prop_assert!(spec.validate().is_ok(), "strategy must build valid specs");
+        let prog = generator::generate(&spec, threads, spec.iters);
+        let errors: Vec<String> = lint_program(&prog)
+            .iter()
+            .filter(|l| l.is_error())
+            .map(|l| l.to_string())
+            .collect();
+        prop_assert!(errors.is_empty(), "{spec:?}: {errors:?}");
+    }
+}
+
+#[test]
+fn linter_constants_match_workload_layout() {
+    // The linter duplicates the reserved-region bound (it cannot depend
+    // on this crate); this pins the two constants together.
+    assert_eq!(
+        mmt_analysis::lint::RESERVED_WORDS,
+        layout::SHARED_BASE as u64
+    );
+}

@@ -11,13 +11,13 @@ use proptest::prelude::*;
 fn arb_spec() -> impl Strategy<Value = KernelSpec> {
     (
         (
-            any::<bool>(), // sharing
-            1usize..6,     // common_alu
-            0usize..3,     // common_fpu
-            0usize..3,     // common_loads
-            0usize..6,     // private_alu
-            0usize..3,     // private_loads
-            0usize..2,     // stores
+            any::<bool>(),                             // sharing
+            1usize..6,                                 // common_alu
+            0usize..3,                                 // common_fpu
+            0usize..3,                                 // common_loads
+            0usize..6,                                 // private_alu
+            0usize..3,                                 // private_loads
+            0usize..2,                                 // stores
             prop::sample::select(vec![0u64, 2, 5, 9]), // divergence_inv
         ),
         (
@@ -32,7 +32,11 @@ fn arb_spec() -> impl Strategy<Value = KernelSpec> {
     )
         .prop_map(
             |((mt, ca, cf, cl, pa, pl, st, div), (part, calls, me, chase, inner, unroll, seed))| {
-                let sharing = if mt { MemSharing::Shared } else { MemSharing::PerThread };
+                let sharing = if mt {
+                    MemSharing::Shared
+                } else {
+                    MemSharing::PerThread
+                };
                 KernelSpec {
                     sharing,
                     iters: 6,
@@ -46,7 +50,11 @@ fn arb_spec() -> impl Strategy<Value = KernelSpec> {
                     divergence: DivergenceProfile::Short,
                     index_partitioned: part && sharing == MemSharing::Shared,
                     calls,
-                    me_ident_pct: if sharing == MemSharing::PerThread { me } else { 0 },
+                    me_ident_pct: if sharing == MemSharing::PerThread {
+                        me
+                    } else {
+                        0
+                    },
                     pointer_chase: chase,
                     ws_words: 256,
                     inner_iters: inner,

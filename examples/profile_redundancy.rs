@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("{name}: {} dynamic instructions per thread", p.total);
     println!("  execute-identical {:.1}%", e * 100.0);
-    println!("  fetch-identical   {:.1}% (incl. execute-identical)", (e + f) * 100.0);
+    println!(
+        "  fetch-identical   {:.1}% (incl. execute-identical)",
+        (e + f) * 100.0
+    );
     println!("  not identical     {:.1}%", n * 100.0);
     println!("  divergences       {}", p.divergences);
     println!("\ndivergent path-length differences (taken branches):");

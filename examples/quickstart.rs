@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         memory.store(1000 + w, 3 * w + 1)?;
     }
 
-    println!("running {} static instructions on 2 threads\n", program.len());
+    println!(
+        "running {} static instructions on 2 threads\n",
+        program.len()
+    );
     let mut baseline_cycles = 0;
     for level in MmtLevel::ALL {
         let spec = RunSpec {
@@ -56,7 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             level.name(),
             result.stats.cycles,
             baseline_cycles as f64 / result.stats.cycles as f64,
-            (id.execute_identical + id.execute_identical_regmerge) as f64 / id.total().max(1) as f64
+            (id.execute_identical + id.execute_identical_regmerge) as f64
+                / id.total().max(1) as f64
                 * 100.0,
             result.final_regs[0][Reg::R4.index()],
         );

@@ -37,7 +37,10 @@ fn main() {
         cfg.fhb_entries = fhb;
         let base = run(app.instance(2, scale), cfg.clone(), MmtLevel::Base);
         let fxr = run(app.instance(2, scale), cfg, MmtLevel::Fxr);
-        println!("  {fhb:>3} entries: speedup {:.3}", base as f64 / fxr as f64);
+        println!(
+            "  {fhb:>3} entries: speedup {:.3}",
+            base as f64 / fxr as f64
+        );
     }
 
     println!("\n{name}: fetch width sweep (Figure 7(d))");

@@ -12,6 +12,9 @@
 //!   synchronization machinery (Fetch History Buffers);
 //! * [`sim`] — the MMT out-of-order SMT timing model itself (Register
 //!   Sharing Table, instruction splitter, LVIP, register merging);
+//! * [`analysis`] — static CFG/dataflow analysis, the program linter and
+//!   the differential redundancy oracle that audits the simulator's
+//!   merge decisions;
 //! * [`energy`] — the Wattch-style event energy model;
 //! * [`workloads`] — calibrated synthetic stand-ins for the paper's 16
 //!   applications;
@@ -33,6 +36,7 @@
 //! assert!(r.stats.cycles > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+pub use mmt_analysis as analysis;
 pub use mmt_energy as energy;
 pub use mmt_frontend as frontend;
 pub use mmt_isa as isa;

@@ -1,0 +1,100 @@
+//! Offline stand-in for the subset of the `criterion` API this
+//! workspace's benches use (`criterion_group!`/`criterion_main!`,
+//! benchmark groups, `Bencher::iter`).
+//!
+//! The build container has no network access to a crates registry, so
+//! external dev-dependencies are vendored as minimal stubs. Instead of
+//! statistical sampling, every benchmark body runs once and its wall
+//! time is printed — enough to keep `cargo test`/`cargo bench` green and
+//! to smoke-test the bench targets, without criterion's analysis
+//! machinery.
+
+use std::time::Instant;
+
+/// Hands the benchmark body to the harness.
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run the routine `self.iters` times (once, in this stub).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub always runs one sample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut b = Bencher { iters: 1 };
+    let start = Instant::now();
+    f(&mut b);
+    println!(
+        "bench {id}: {:?} (single sample; criterion stub)",
+        start.elapsed()
+    );
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; `cargo
+            // bench` passes `--bench`. The stub behaves identically —
+            // each benchmark body runs once.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build container has no network access to a crates registry, so
+//! external dependencies are vendored as minimal API-compatible stubs.
+//! Real serde is a data-model/format split; the only format consumer in
+//! this workspace is `serde_json::to_string` on plain statistics
+//! structs, so [`Serialize`] here is simply "append your JSON to this
+//! buffer". The derive macros (re-exported from `serde_derive`) emit
+//! field-by-field JSON objects for named-field structs — exactly the
+//! shapes `mmt-sim`/`mmt-mem` derive on.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-producing serialization. The derive macro implements this for
+/// named-field structs by emitting a `{"field":value,...}` object.
+pub trait Serialize {
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Marker trait so `T: Deserialize` bounds compile; this stub performs
+/// no deserialization (nothing in the workspace parses JSON back).
+pub trait Deserialize<'de>: Sized {}
+
+/// Helper used by generated code: append one `"name":value` member,
+/// comma-separating after the first.
+pub fn field<T: Serialize + ?Sized>(out: &mut String, first: &mut bool, name: &str, value: &T) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('"');
+    out.push_str(name);
+    out.push_str("\":");
+    value.serialize_json(out);
+}
+
+macro_rules! impl_serialize_display_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_display_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        (*self as f64).serialize_json(out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('"');
+        for c in self.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_str().serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_sequences() {
+        let mut s = String::new();
+        5u64.serialize_json(&mut s);
+        assert_eq!(s, "5");
+        let mut s = String::new();
+        vec![1u32, 2, 3].serialize_json(&mut s);
+        assert_eq!(s, "[1,2,3]");
+        let mut s = String::new();
+        [7u64; 2].serialize_json(&mut s);
+        assert_eq!(s, "[7,7]");
+        let mut s = String::new();
+        "a\"b".serialize_json(&mut s);
+        assert_eq!(s, "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn field_helper_comma_separates() {
+        let mut s = String::from("{");
+        let mut first = true;
+        field(&mut s, &mut first, "a", &1u8);
+        field(&mut s, &mut first, "b", &2u8);
+        s.push('}');
+        assert_eq!(s, "{\"a\":1,\"b\":2}");
+    }
+}

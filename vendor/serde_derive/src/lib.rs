@@ -1,0 +1,149 @@
+//! Offline stand-in for `serde_derive`, written against the built-in
+//! `proc_macro` API only (no `syn`/`quote` — the build container has no
+//! registry access).
+//!
+//! Supports exactly the input shape this workspace derives on: plain
+//! structs with named fields (any field types that themselves implement
+//! the stub `serde::Serialize`). Anything else is a compile error, which
+//! is the right failure mode for a stub.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the stub `serde::Serialize` (JSON-object emission) for a
+/// named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_named_struct(input) {
+        Ok(p) => p,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let mut fields_src = String::new();
+    for f in &parsed.fields {
+        fields_src.push_str(&format!(
+            "::serde::field(out, &mut first, {f:?}, &self.{f});\n"
+        ));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+                 let mut first = true;\n\
+                 out.push('{{');\n\
+                 {fields_src}\
+                 let _ = first;\n\
+                 out.push('}}');\n\
+             }}\n\
+         }}",
+        name = parsed.name,
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derive the stub `serde::Deserialize` marker for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_named_struct(input) {
+        Ok(p) => p,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{}}",
+        name = parsed.name,
+    )
+    .parse()
+    .unwrap()
+}
+
+struct NamedStruct {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extract the struct name and field names from a derive input stream.
+///
+/// Grammar handled: outer attributes and visibility, `struct Name`
+/// (no generics), then a brace group of `attrs vis name : type ,`
+/// fields. Commas nested inside groups or `<...>` are not separators.
+fn parse_named_struct(input: TokenStream) -> Result<NamedStruct, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility, find `struct`.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Swallow the attribute group that follows `#`.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(_)) => {} // `pub`, or `crate`-style vis parts
+            Some(TokenTree::Group(_)) => {} // `pub(crate)` group
+            Some(_) => {}
+            None => return Err("serde stub derive: no `struct` found".into()),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stub derive: missing struct name".into()),
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("serde stub derive: generic structs unsupported".into());
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err("serde stub derive: only named-field structs supported".into());
+            }
+            Some(_) => {}
+            None => return Err("serde stub derive: missing struct body".into()),
+        }
+    };
+
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    'fields: loop {
+        // Skip field attributes and visibility; the field name is the
+        // last ident before the `:`.
+        let mut field_name: Option<String> = None;
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next(); // attribute group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    // Possible `pub(...)` group follows.
+                    if let Some(TokenTree::Group(_)) = toks.peek() {
+                        toks.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) => {
+                    field_name = Some(id.to_string());
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => break,
+                Some(_) => return Err("serde stub derive: unexpected token in field".into()),
+                None => break 'fields,
+            }
+        }
+        match field_name {
+            Some(n) => fields.push(n),
+            None => return Err("serde stub derive: field without a name".into()),
+        }
+        // Skip the type: until a top-level comma (angle-bracket aware).
+        let mut angle_depth: i64 = 0;
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => break 'fields,
+            }
+        }
+    }
+    Ok(NamedStruct { name, fields })
+}

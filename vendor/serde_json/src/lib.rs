@@ -1,0 +1,34 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! `to_string` over the stub `serde::Serialize` trait (which emits JSON
+//! directly). Serialization here is infallible; the `Result` shape is
+//! kept for call-site compatibility.
+
+use std::fmt;
+
+/// Error type kept for API compatibility; never produced by this stub.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn to_string_scalars() {
+        assert_eq!(super::to_string(&3u64).unwrap(), "3");
+        assert_eq!(super::to_string(&vec![1u8, 2]).unwrap(), "[1,2]");
+    }
+}
