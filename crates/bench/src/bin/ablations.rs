@@ -16,13 +16,18 @@
 //!   selection (the baseline's Tullsen-style policy choice).
 //!
 //! ```text
-//! cargo run --release -p mmt-bench --bin ablations -- --study sync
+//! cargo run --release -p mmt-bench --bin ablations -- --study sync --jobs 8
 //! ```
+//!
+//! Each study's grid fans out across a `--jobs`-sized worker pool;
+//! telemetry lands in `results/BENCH_ablations_<study>.json`.
 
+use mmt_bench::sweep::{jobs_arg, run_parallel, timed_run, BenchReport, RunTelemetry};
 use mmt_bench::{arg_value, geomean, run_app_with, speedup, to_run_spec, FULL_SCALE};
 use mmt_sim::config::SyncPolicy;
 use mmt_sim::{FetchStyle, MmtLevel, SimConfig, Simulator};
 use mmt_workloads::{all_apps, App};
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -33,29 +38,36 @@ fn main() {
     let scale: u64 = arg_value(&args, "--scale")
         .map(|v| v.parse().expect("--scale takes a number"))
         .unwrap_or(FULL_SCALE);
+    let jobs = jobs_arg(&args);
 
     match study.as_str() {
-        "sync" => sync_policy_study(threads, scale),
+        "sync" => sync_policy_study(threads, scale, jobs),
         "align" => knob_study(
             threads,
             scale,
+            jobs,
             "merge-alignment slack (instructions)",
+            "ablations_align",
             &[16, 64, 256, 1024, 4096],
             |cfg, v| cfg.merge_alignment_slack = v as u64,
         ),
         "lvip" => knob_study(
             threads,
             scale,
+            jobs,
             "LVIP entries",
+            "ablations_lvip",
             &[64, 512, 4096],
             |cfg, v| cfg.lvip_entries = v,
         ),
-        "fetchstyle" => fetch_style_study(threads, scale),
-        "barrier" => barrier_study(threads, scale),
+        "fetchstyle" => fetch_style_study(threads, scale, jobs),
+        "barrier" => barrier_study(threads, scale, jobs),
         "fetchpolicy" => knob_study(
             threads,
             scale,
+            jobs,
             "fetch policy (0=ICOUNT, 1=round-robin)",
+            "ablations_fetchpolicy",
             &[0, 1],
             |cfg, v| {
                 cfg.fetch_policy = if v == 0 {
@@ -68,7 +80,9 @@ fn main() {
         "prefetch" => knob_study(
             threads,
             scale,
+            jobs,
             "next-line prefetch (0=off, 1=on)",
+            "ablations_prefetch",
             &[0, 1],
             |cfg, v| cfg.hierarchy.prefetch = v != 0,
         ),
@@ -78,6 +92,13 @@ fn main() {
             );
             std::process::exit(2);
         }
+    }
+}
+
+fn write_telemetry(figure: &str, jobs: usize, t0: Instant, tel: Vec<RunTelemetry>) {
+    match BenchReport::new(figure, jobs, t0.elapsed(), tel).write() {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("warning: telemetry not written: {e}"),
     }
 }
 
@@ -93,7 +114,7 @@ fn run_hinted(app: &App, threads: usize, scale: u64) -> mmt_sim::SimResult {
         .expect("terminates")
 }
 
-fn sync_policy_study(threads: usize, scale: u64) {
+fn sync_policy_study(threads: usize, scale: u64, jobs: usize) {
     println!(
         "Ablation: FHB hardware vs software remerge hints ({threads} threads, MMT-FXR speedup \
          over Base)"
@@ -102,22 +123,39 @@ fn sync_policy_study(threads: usize, scale: u64) {
         "{:<14} {:>8} {:>8} {:>10} {:>10}",
         "app", "FHB", "hints", "FHB mrg%", "hint mrg%"
     );
+    let apps = all_apps();
+    let t0 = Instant::now();
+    let rows = run_parallel(&apps, jobs, |app| {
+        let (base, t_base) = timed_run(format!("{}/base", app.name), || {
+            run_app_with(app, threads, MmtLevel::Base, scale, |_| {})
+        });
+        let (fhb, t_fhb) = timed_run(format!("{}/fhb", app.name), || {
+            run_app_with(app, threads, MmtLevel::Fxr, scale, |_| {})
+        });
+        let (hinted, t_hint) = timed_run(format!("{}/hints", app.name), || {
+            run_hinted(app, threads, scale)
+        });
+        (
+            (
+                speedup(&base, &fhb),
+                speedup(&base, &hinted),
+                fhb.stats.fetch_modes.fractions().0,
+                hinted.stats.fetch_modes.fractions().0,
+            ),
+            vec![t_base, t_fhb, t_hint],
+        )
+    });
     let (mut fhbs, mut hints) = (Vec::new(), Vec::new());
-    for app in all_apps() {
-        let base = run_app_with(&app, threads, MmtLevel::Base, scale, |_| {});
-        let fhb = run_app_with(&app, threads, MmtLevel::Fxr, scale, |_| {});
-        let hinted = run_hinted(&app, threads, scale);
-        let s_fhb = speedup(&base, &fhb);
-        let s_hint = speedup(&base, &hinted);
-        fhbs.push(s_fhb);
-        hints.push(s_hint);
+    for (app, ((s_fhb, s_hint, m_fhb, m_hint), _)) in apps.iter().zip(&rows) {
+        fhbs.push(*s_fhb);
+        hints.push(*s_hint);
         println!(
             "{:<14} {:>8.3} {:>8.3} {:>9.1}% {:>9.1}%",
             app.name,
             s_fhb,
             s_hint,
-            fhb.stats.fetch_modes.fractions().0 * 100.0,
-            hinted.stats.fetch_modes.fractions().0 * 100.0,
+            m_fhb * 100.0,
+            m_hint * 100.0,
         );
     }
     println!(
@@ -128,30 +166,45 @@ fn sync_policy_study(threads: usize, scale: u64) {
         geomean(&hints),
         ""
     );
+    let tel = rows.into_iter().flat_map(|(_, t)| t).collect();
+    write_telemetry("ablations_sync", jobs, t0, tel);
 }
 
-fn fetch_style_study(threads: usize, scale: u64) {
+fn fetch_style_study(threads: usize, scale: u64, jobs: usize) {
     println!(
         "Ablation: trace-cache vs conventional fetch ({threads} threads; paper §5 reports the \
          difference is negligible)"
     );
     println!("{:<14} {:>10} {:>13}", "app", "trace", "conventional");
-    for style in [FetchStyle::TraceCache, FetchStyle::Conventional] {
-        let mut speedups = Vec::new();
-        for app in all_apps() {
-            let base = run_app_with(&app, threads, MmtLevel::Base, scale, |c| {
+    let styles = [FetchStyle::TraceCache, FetchStyle::Conventional];
+    let apps = all_apps();
+    let grid: Vec<(FetchStyle, &App)> = styles
+        .iter()
+        .flat_map(|&style| apps.iter().map(move |app| (style, app)))
+        .collect();
+    let t0 = Instant::now();
+    let cells = run_parallel(&grid, jobs, |&(style, app)| {
+        let (base, t_base) = timed_run(format!("{}/{style:?}/base", app.name), || {
+            run_app_with(app, threads, MmtLevel::Base, scale, |c| {
                 c.fetch_style = style;
-            });
-            let fxr = run_app_with(&app, threads, MmtLevel::Fxr, scale, |c| {
+            })
+        });
+        let (fxr, t_fxr) = timed_run(format!("{}/{style:?}/fxr", app.name), || {
+            run_app_with(app, threads, MmtLevel::Fxr, scale, |c| {
                 c.fetch_style = style;
-            });
-            speedups.push(speedup(&base, &fxr));
-        }
+            })
+        });
+        (speedup(&base, &fxr), vec![t_base, t_fxr])
+    });
+    for (style, chunk) in styles.iter().zip(cells.chunks(apps.len())) {
+        let speedups: Vec<f64> = chunk.iter().map(|(s, _)| *s).collect();
         println!("geomean {:?}: {:.3}", style, geomean(&speedups));
     }
+    let tel = cells.into_iter().flat_map(|(_, t)| t).collect();
+    write_telemetry("ablations_fetchstyle", jobs, t0, tel);
 }
 
-fn barrier_study(threads: usize, scale: u64) {
+fn barrier_study(threads: usize, scale: u64, jobs: usize) {
     use mmt_isa::MemSharing;
     use mmt_workloads::{data, generator};
     println!(
@@ -162,10 +215,12 @@ fn barrier_study(threads: usize, scale: u64) {
         "{:<14} {:>10} {:>10} {:>10} {:>10}",
         "app", "free", "barriered", "free mrg%", "barr mrg%"
     );
-    for app in all_apps() {
-        if app.sharing() != MemSharing::Shared {
-            continue; // barriers need shared memory
-        }
+    let apps: Vec<App> = all_apps()
+        .into_iter()
+        .filter(|app| app.sharing() == MemSharing::Shared) // barriers need shared memory
+        .collect();
+    let t0 = Instant::now();
+    let rows = run_parallel(&apps, jobs, |app| {
         let run_with_barrier = |every: u64, level: MmtLevel| {
             let mut spec = app.spec.clone();
             spec.barrier_every = every;
@@ -186,36 +241,72 @@ fn barrier_study(threads: usize, scale: u64) {
             .run()
             .expect("terminates")
         };
-        let free_base = run_with_barrier(0, MmtLevel::Base);
-        let free = run_with_barrier(0, MmtLevel::Fxr);
-        let barr_base = run_with_barrier(8, MmtLevel::Base);
-        let barr = run_with_barrier(8, MmtLevel::Fxr);
+        let mut tel = Vec::new();
+        let mut timed = |tag: &str, every: u64, level: MmtLevel| {
+            let (r, t) = timed_run(format!("{}/{tag}", app.name), || {
+                run_with_barrier(every, level)
+            });
+            tel.push(t);
+            r
+        };
+        let free_base = timed("free-base", 0, MmtLevel::Base);
+        let free = timed("free-fxr", 0, MmtLevel::Fxr);
+        let barr_base = timed("barrier-base", 8, MmtLevel::Base);
+        let barr = timed("barrier-fxr", 8, MmtLevel::Fxr);
+        (
+            (
+                speedup(&free_base, &free),
+                speedup(&barr_base, &barr),
+                free.stats.fetch_modes.fractions().0,
+                barr.stats.fetch_modes.fractions().0,
+            ),
+            tel,
+        )
+    });
+    for (app, ((s_free, s_barr, m_free, m_barr), _)) in apps.iter().zip(&rows) {
         println!(
             "{:<14} {:>10.3} {:>10.3} {:>9.1}% {:>9.1}%",
             app.name,
-            speedup(&free_base, &free),
-            speedup(&barr_base, &barr),
-            free.stats.fetch_modes.fractions().0 * 100.0,
-            barr.stats.fetch_modes.fractions().0 * 100.0,
+            s_free,
+            s_barr,
+            m_free * 100.0,
+            m_barr * 100.0,
         );
     }
+    let tel = rows.into_iter().flat_map(|(_, t)| t).collect();
+    write_telemetry("ablations_barrier", jobs, t0, tel);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn knob_study(
     threads: usize,
     scale: u64,
+    jobs: usize,
     title: &str,
+    figure: &str,
     values: &[usize],
     tweak: fn(&mut SimConfig, usize),
 ) {
     println!("Ablation: {title} ({threads} threads, MMT-FXR geomean speedup over Base)");
-    for &v in values {
-        let mut speedups = Vec::new();
-        for app in all_apps() {
-            let base = run_app_with(&app, threads, MmtLevel::Base, scale, |c| tweak(c, v));
-            let fxr = run_app_with(&app, threads, MmtLevel::Fxr, scale, |c| tweak(c, v));
-            speedups.push(speedup(&base, &fxr));
-        }
+    let apps = all_apps();
+    let grid: Vec<(usize, &App)> = values
+        .iter()
+        .flat_map(|&v| apps.iter().map(move |app| (v, app)))
+        .collect();
+    let t0 = Instant::now();
+    let cells = run_parallel(&grid, jobs, |&(v, app)| {
+        let (base, t_base) = timed_run(format!("{}/{v}/base", app.name), || {
+            run_app_with(app, threads, MmtLevel::Base, scale, |c| tweak(c, v))
+        });
+        let (fxr, t_fxr) = timed_run(format!("{}/{v}/fxr", app.name), || {
+            run_app_with(app, threads, MmtLevel::Fxr, scale, |c| tweak(c, v))
+        });
+        (speedup(&base, &fxr), vec![t_base, t_fxr])
+    });
+    for (&v, chunk) in values.iter().zip(cells.chunks(apps.len())) {
+        let speedups: Vec<f64> = chunk.iter().map(|(s, _)| *s).collect();
         println!("{v:>6}: {:.3}", geomean(&speedups));
     }
+    let tel = cells.into_iter().flat_map(|(_, t)| t).collect();
+    write_telemetry(figure, jobs, t0, tel);
 }

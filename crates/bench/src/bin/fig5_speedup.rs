@@ -2,17 +2,22 @@
 //! traditional SMT running the same number of threads, per application.
 //!
 //! ```text
-//! cargo run --release -p mmt-bench --bin fig5_speedup -- --threads 2
-//! cargo run --release -p mmt-bench --bin fig5_speedup -- --threads 4
+//! cargo run --release -p mmt-bench --bin fig5_speedup -- --threads 2 --jobs 8
 //! ```
+//!
+//! Apps fan out across a `--jobs`-sized worker pool (default: one per
+//! core); the printed figure data is byte-identical at any pool size, and
+//! per-run telemetry lands in `results/BENCH_fig5_speedup.json`.
 //!
 //! Paper headline: geometric-mean MMT-FXR speedups of ~1.15 (2 threads)
 //! and ~1.25 (4 threads); Limit strictly above FXR, with the largest
 //! FXR-to-Limit gaps for libsvm, twolf, vortex and vpr.
 
+use mmt_bench::sweep::{jobs_arg, run_parallel, timed_run, BenchReport, RunTelemetry};
 use mmt_bench::{arg_value, geomean, run_app, run_limit, speedup, FULL_SCALE};
 use mmt_sim::MmtLevel;
 use mmt_workloads::all_apps;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -22,6 +27,7 @@ fn main() {
     let scale: u64 = arg_value(&args, "--scale")
         .map(|v| v.parse().expect("--scale takes a number"))
         .unwrap_or(FULL_SCALE);
+    let jobs = jobs_arg(&args);
 
     println!(
         "Figure 5({}): speedup over Base SMT, {threads} threads",
@@ -31,26 +37,46 @@ fn main() {
         "{:<14} {:>7} {:>7} {:>8} {:>7}",
         "app", "MMT-F", "MMT-FX", "MMT-FXR", "Limit"
     );
-    let mut cols: [Vec<f64>; 4] = Default::default();
-    for app in all_apps() {
-        let base = run_app(&app, threads, MmtLevel::Base, scale);
-        let f = speedup(&base, &run_app(&app, threads, MmtLevel::F, scale));
-        let fx = speedup(&base, &run_app(&app, threads, MmtLevel::Fx, scale));
-        let fxr = speedup(&base, &run_app(&app, threads, MmtLevel::Fxr, scale));
+
+    let apps = all_apps();
+    let t0 = Instant::now();
+    let rows = run_parallel(&apps, jobs, |app| {
+        let mut tel: Vec<RunTelemetry> = Vec::new();
+        let mut run_level = |level: MmtLevel, tag: &str| {
+            let (r, t) = timed_run(format!("{}/{tag}", app.name), || {
+                run_app(app, threads, level, scale)
+            });
+            tel.push(t);
+            r
+        };
+        let base = run_level(MmtLevel::Base, "base");
+        let f = speedup(&base, &run_level(MmtLevel::F, "f"));
+        let fx = speedup(&base, &run_level(MmtLevel::Fx, "fx"));
+        let fxr = speedup(&base, &run_level(MmtLevel::Fxr, "fxr"));
         // Limit runs different (identical-input) work; normalize against
         // a Base run of that same workload.
-        let limit_base = {
+        let (limit_base, t) = timed_run(format!("{}/limit-base", app.name), || {
             let cfg = mmt_sim::SimConfig::paper_with(threads, MmtLevel::Base);
             let spec = mmt_bench::to_run_spec(app.limit_instance(threads, scale));
             mmt_sim::Simulator::new(cfg, spec).unwrap().run().unwrap()
-        };
-        let limit = speedup(&limit_base, &run_limit(&app, threads, scale));
+        });
+        tel.push(t);
+        let (limit_run, t) = timed_run(format!("{}/limit", app.name), || {
+            run_limit(app, threads, scale)
+        });
+        tel.push(t);
+        let limit = speedup(&limit_base, &limit_run);
+        ([f, fx, fxr, limit], tel)
+    });
+
+    let mut cols: [Vec<f64>; 4] = Default::default();
+    for (app, ([f, fx, fxr, limit], _)) in apps.iter().zip(&rows) {
         println!(
             "{:<14} {f:>7.3} {fx:>7.3} {fxr:>8.3} {limit:>7.3}",
             app.name
         );
         for (col, v) in cols.iter_mut().zip([f, fx, fxr, limit]) {
-            col.push(v);
+            col.push(*v);
         }
     }
     println!(
@@ -61,4 +87,10 @@ fn main() {
         geomean(&cols[2]),
         geomean(&cols[3]),
     );
+
+    let tel = rows.into_iter().flat_map(|(_, t)| t).collect();
+    match BenchReport::new("fig5_speedup", jobs, t0.elapsed(), tel).write() {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("warning: telemetry not written: {e}"),
+    }
 }

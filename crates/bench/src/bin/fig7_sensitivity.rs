@@ -12,12 +12,17 @@
 //!   ~11% at 32.
 //!
 //! ```text
-//! cargo run --release -p mmt-bench --bin fig7_sensitivity -- --sweep fhb
+//! cargo run --release -p mmt-bench --bin fig7_sensitivity -- --sweep fhb --jobs 8
 //! ```
+//!
+//! The (knob value × app) grid fans out across a `--jobs`-sized worker
+//! pool; telemetry lands in `results/BENCH_fig7_<sweep>.json`.
 
+use mmt_bench::sweep::{jobs_arg, run_parallel, timed_run, BenchReport, RunTelemetry};
 use mmt_bench::{arg_value, geomean, run_app_with, speedup, FULL_SCALE};
 use mmt_sim::MmtLevel;
-use mmt_workloads::all_apps;
+use mmt_workloads::{all_apps, App};
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -28,13 +33,16 @@ fn main() {
     let scale: u64 = arg_value(&args, "--scale")
         .map(|v| v.parse().expect("--scale takes a number"))
         .unwrap_or(FULL_SCALE);
+    let jobs = jobs_arg(&args);
 
     match sweep.as_str() {
-        "fhb" => sweep_fhb(threads, scale),
+        "fhb" => sweep_fhb(threads, scale, jobs),
         "ports" => sweep_geomean(
             threads,
             scale,
+            jobs,
             "Figure 7(b): speedup vs load/store ports (MSHRs scaled along)",
+            "fig7_ports",
             &[2, 4, 6, 8, 12],
             |cfg, v| {
                 cfg.lsq_ports = v;
@@ -44,7 +52,9 @@ fn main() {
         "width" => sweep_geomean(
             threads,
             scale,
+            jobs,
             "Figure 7(d): speedup vs fetch width",
+            "fig7_width",
             &[4, 8, 16, 32],
             |cfg, v| cfg.fetch_width = v,
         ),
@@ -55,7 +65,7 @@ fn main() {
     }
 }
 
-fn sweep_fhb(threads: usize, scale: u64) {
+fn sweep_fhb(threads: usize, scale: u64, jobs: usize) {
     let sizes = [8usize, 16, 32, 64, 128];
     println!("Figure 7(a)/(c): FHB size sweep, {threads} threads, MMT-FXR");
     print!("{:<14}", "app");
@@ -63,19 +73,32 @@ fn sweep_fhb(threads: usize, scale: u64) {
         print!("  {s:>5}e m/d/c");
     }
     println!();
-    for app in all_apps() {
-        print!("{:<14}", app.name);
-        for s in sizes {
-            let base = run_app_with(&app, threads, MmtLevel::Base, scale, |c| {
+    let apps = all_apps();
+    let grid: Vec<(usize, &App)> = apps
+        .iter()
+        .flat_map(|app| sizes.iter().map(move |&s| (s, app)))
+        .collect();
+    let t0 = Instant::now();
+    let cells = run_parallel(&grid, jobs, |&(s, app)| {
+        let (base, t_base) = timed_run(format!("{}/fhb{s}/base", app.name), || {
+            run_app_with(app, threads, MmtLevel::Base, scale, |c| {
                 c.fhb_entries = s;
-            });
-            let fxr = run_app_with(&app, threads, MmtLevel::Fxr, scale, |c| {
+            })
+        });
+        let (fxr, t_fxr) = timed_run(format!("{}/fhb{s}/fxr", app.name), || {
+            run_app_with(app, threads, MmtLevel::Fxr, scale, |c| {
                 c.fhb_entries = s;
-            });
-            let (m, d, c) = fxr.stats.fetch_modes.fractions();
+            })
+        });
+        let (m, d, c) = fxr.stats.fetch_modes.fractions();
+        ((speedup(&base, &fxr), m, d, c), vec![t_base, t_fxr])
+    });
+    for (row, chunk) in apps.iter().zip(cells.chunks(sizes.len())) {
+        print!("{:<14}", row.name);
+        for ((s, m, d, c), _) in chunk {
             print!(
                 " {:>5.2} {:>2.0}/{:>2.0}/{:>2.0}",
-                speedup(&base, &fxr),
+                s,
                 m * 100.0,
                 d * 100.0,
                 c * 100.0
@@ -84,23 +107,46 @@ fn sweep_fhb(threads: usize, scale: u64) {
         println!();
     }
     println!("\n(speedup then %insts fetched in MERGE/DETECT/CATCHUP per FHB size)");
+    let tel: Vec<RunTelemetry> = cells.into_iter().flat_map(|(_, t)| t).collect();
+    match BenchReport::new("fig7_fhb", jobs, t0.elapsed(), tel).write() {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("warning: telemetry not written: {e}"),
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sweep_geomean(
     threads: usize,
     scale: u64,
+    jobs: usize,
     title: &str,
+    figure: &str,
     values: &[usize],
     tweak: fn(&mut mmt_sim::SimConfig, usize),
 ) {
     println!("{title}, {threads} threads, MMT-FXR geomean over all apps");
-    for &v in values {
-        let mut speedups = Vec::new();
-        for app in all_apps() {
-            let base = run_app_with(&app, threads, MmtLevel::Base, scale, |c| tweak(c, v));
-            let fxr = run_app_with(&app, threads, MmtLevel::Fxr, scale, |c| tweak(c, v));
-            speedups.push(speedup(&base, &fxr));
-        }
+    let apps = all_apps();
+    let grid: Vec<(usize, &App)> = values
+        .iter()
+        .flat_map(|&v| apps.iter().map(move |app| (v, app)))
+        .collect();
+    let t0 = Instant::now();
+    let cells = run_parallel(&grid, jobs, |&(v, app)| {
+        let (base, t_base) = timed_run(format!("{}/{v}/base", app.name), || {
+            run_app_with(app, threads, MmtLevel::Base, scale, |c| tweak(c, v))
+        });
+        let (fxr, t_fxr) = timed_run(format!("{}/{v}/fxr", app.name), || {
+            run_app_with(app, threads, MmtLevel::Fxr, scale, |c| tweak(c, v))
+        });
+        (speedup(&base, &fxr), vec![t_base, t_fxr])
+    });
+    for (&v, chunk) in values.iter().zip(cells.chunks(apps.len())) {
+        let speedups: Vec<f64> = chunk.iter().map(|(s, _)| *s).collect();
         println!("{v:>4}: {:.3}", geomean(&speedups));
+    }
+    let tel: Vec<RunTelemetry> = cells.into_iter().flat_map(|(_, t)| t).collect();
+    match BenchReport::new(figure, jobs, t0.elapsed(), tel).write() {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("warning: telemetry not written: {e}"),
     }
 }

@@ -1,0 +1,95 @@
+//! `perfsmoke` — the simulator-throughput microbenchmark CI logs every
+//! run.
+//!
+//! Times `--reps` fixed-seed runs of the cycle loop (the dedicated
+//! [`mmt_workloads::perfsmoke_app`] workload at 2 and 4 threads,
+//! MMT-FXR) and prints a single sim-cycles/sec throughput number, then
+//! writes `results/BENCH_perfsmoke.json` with the per-run telemetry and
+//! the pre-overhaul baseline for PR-over-PR comparison.
+//!
+//! ```text
+//! cargo run --release -p mmt-bench --bin perfsmoke -- --reps 3
+//! ```
+
+use mmt_bench::sweep::{write_report, RunTelemetry};
+use mmt_bench::{arg_value, to_run_spec};
+use mmt_sim::{MmtLevel, SimConfig, Simulator};
+use mmt_workloads::perfsmoke_app;
+use std::time::Instant;
+
+/// Sim-cycles/sec measured on the pre-overhaul implementation (the
+/// allocating cycle loop with the monotonic uop arena), same workload
+/// and reps (median of repeated `--reps 2` runs: 133k/138k/141k/166k),
+/// recorded before the Scratch/free-list rewrite landed. The acceptance
+/// bar for the overhaul is >= 2x this number on the same machine class.
+const PRE_OVERHAUL_BASELINE_CPS: f64 = 140_000.0;
+
+#[derive(serde::Serialize)]
+struct PerfsmokeReport {
+    figure: String,
+    reps: usize,
+    total_cycles: u64,
+    total_wall_ms: f64,
+    sim_cycles_per_sec: f64,
+    baseline_sim_cycles_per_sec: f64,
+    speedup_vs_baseline: f64,
+    runs: Vec<RunTelemetry>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let reps: usize = arg_value(&args, "--reps")
+        .map(|v| v.parse().expect("--reps takes a number"))
+        .unwrap_or(3);
+
+    let app = perfsmoke_app();
+    let mut runs = Vec::new();
+    let mut total_cycles = 0u64;
+    let mut total_wall = 0.0f64;
+    for rep in 0..reps {
+        for threads in [2usize, 4] {
+            let cfg = SimConfig::paper_with(threads, MmtLevel::Fxr);
+            let spec = to_run_spec(app.instance(threads, 1));
+            let sim = Simulator::new(cfg, spec).expect("valid config and spec");
+            let start = Instant::now();
+            let result = sim.run().expect("perfsmoke workload terminates");
+            let wall = start.elapsed();
+            let t = RunTelemetry::new(format!("rep{rep}-{threads}t"), wall, &result.stats);
+            total_cycles += t.cycles;
+            total_wall += t.wall_ms;
+            runs.push(t);
+        }
+    }
+
+    let cps = total_cycles as f64 / (total_wall / 1000.0).max(1e-9);
+    let report = PerfsmokeReport {
+        figure: "perfsmoke".into(),
+        reps,
+        total_cycles,
+        total_wall_ms: total_wall,
+        sim_cycles_per_sec: cps,
+        baseline_sim_cycles_per_sec: PRE_OVERHAUL_BASELINE_CPS,
+        speedup_vs_baseline: if PRE_OVERHAUL_BASELINE_CPS > 0.0 {
+            cps / PRE_OVERHAUL_BASELINE_CPS
+        } else {
+            0.0
+        },
+        runs,
+    };
+    println!(
+        "perfsmoke: {:.0} sim-cycles/sec ({} cycles in {:.1} ms, {} runs)",
+        cps,
+        total_cycles,
+        total_wall,
+        reps * 2
+    );
+    if PRE_OVERHAUL_BASELINE_CPS > 0.0 {
+        println!(
+            "vs pre-overhaul baseline {:.0}: {:.2}x",
+            PRE_OVERHAUL_BASELINE_CPS,
+            cps / PRE_OVERHAUL_BASELINE_CPS
+        );
+    }
+    let path = write_report("perfsmoke", &report).expect("write results/BENCH_perfsmoke.json");
+    println!("wrote {}", path.display());
+}

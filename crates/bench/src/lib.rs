@@ -22,6 +22,8 @@
 
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use mmt_sim::{MmtLevel, RunSpec, SimConfig, SimResult, Simulator};
 use mmt_workloads::{App, WorkloadInstance};
 

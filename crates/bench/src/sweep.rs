@@ -1,0 +1,224 @@
+//! Parallel sweep harness + benchmark telemetry.
+//!
+//! Every figure binary sweeps an independent `(app, threads, SimConfig)`
+//! grid; [`run_parallel`] fans those simulations out across a scoped
+//! worker pool (std::thread only — no external dependencies) while
+//! keeping result order deterministic: results come back in item order
+//! no matter which worker finished first, so figure output is
+//! byte-identical at any pool size.
+//!
+//! The telemetry half records one [`RunTelemetry`] per simulation
+//! (wall-clock, cycles simulated, sim-cycles/sec, peak uop-arena
+//! footprint) and writes a machine-readable `results/BENCH_<figure>.json`
+//! per sweep so the perf trajectory is tracked PR-over-PR.
+
+use mmt_sim::{SimResult, SimStats};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Worker count when `--jobs` is not given: one per available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parse `--jobs N` (defaulting to [`default_jobs`]).
+pub fn jobs_arg(args: &[String]) -> usize {
+    crate::arg_value(args, "--jobs")
+        .map(|v| v.parse().expect("--jobs takes a number"))
+        .unwrap_or_else(default_jobs)
+        .max(1)
+}
+
+/// Run `f` over every item on `jobs` scoped worker threads, returning
+/// results in item order (deterministic regardless of completion order
+/// or pool size). Jobs must be independent; panics in `f` propagate.
+pub fn run_parallel<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, items.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// Time one simulation and capture its telemetry.
+pub fn timed_run(
+    label: impl Into<String>,
+    run: impl FnOnce() -> SimResult,
+) -> (SimResult, RunTelemetry) {
+    let start = Instant::now();
+    let result = run();
+    let t = RunTelemetry::new(label.into(), start.elapsed(), &result.stats);
+    (result, t)
+}
+
+/// Telemetry for one simulation inside a sweep.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RunTelemetry {
+    /// Which grid point this run was (app/level/knob value).
+    pub label: String,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Wall-clock time for the run, in milliseconds.
+    pub wall_ms: f64,
+    /// Simulation throughput: cycles simulated per wall-clock second.
+    pub sim_cycles_per_sec: f64,
+    /// Peak uop-arena footprint in slots (see
+    /// [`SimStats::peak_uop_arena`]).
+    pub peak_uop_arena: u64,
+    /// Peak simultaneously-live uops.
+    pub peak_live_uops: u64,
+    /// Scratch-buffer heap growth events (0 after warmup).
+    pub scratch_growth_events: u64,
+}
+
+impl RunTelemetry {
+    /// Capture telemetry for one finished run.
+    pub fn new(label: String, wall: Duration, stats: &SimStats) -> RunTelemetry {
+        let wall_ms = wall.as_secs_f64() * 1000.0;
+        RunTelemetry {
+            label,
+            cycles: stats.cycles,
+            wall_ms,
+            sim_cycles_per_sec: stats.cycles as f64 / wall.as_secs_f64().max(1e-9),
+            peak_uop_arena: stats.peak_uop_arena,
+            peak_live_uops: stats.peak_live_uops,
+            scratch_growth_events: stats.scratch_growth_events,
+        }
+    }
+
+    /// Copy with every wall-clock-derived field zeroed (canonical form
+    /// for determinism comparisons).
+    pub fn without_wall_clock(&self) -> RunTelemetry {
+        RunTelemetry {
+            wall_ms: 0.0,
+            sim_cycles_per_sec: 0.0,
+            ..self.clone()
+        }
+    }
+}
+
+/// The machine-readable record one sweep emits.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BenchReport {
+    /// Figure/sweep name (`BENCH_<figure>.json`).
+    pub figure: String,
+    /// Worker-pool size the sweep ran with.
+    pub jobs: usize,
+    /// End-to-end wall-clock for the whole sweep, in milliseconds.
+    pub total_wall_ms: f64,
+    /// Per-run telemetry, in deterministic grid order.
+    pub runs: Vec<RunTelemetry>,
+}
+
+impl BenchReport {
+    /// Assemble a report from a finished sweep.
+    pub fn new(figure: &str, jobs: usize, total_wall: Duration, runs: Vec<RunTelemetry>) -> Self {
+        BenchReport {
+            figure: figure.to_string(),
+            jobs,
+            total_wall_ms: total_wall.as_secs_f64() * 1000.0,
+            runs,
+        }
+    }
+
+    /// JSON with wall-clock-derived fields (and the pool size) zeroed —
+    /// byte-identical across pool sizes for the same grid, which is what
+    /// the determinism suite asserts.
+    pub fn canonical_json(&self) -> String {
+        let canon = BenchReport {
+            figure: self.figure.clone(),
+            jobs: 0,
+            total_wall_ms: 0.0,
+            runs: self
+                .runs
+                .iter()
+                .map(RunTelemetry::without_wall_clock)
+                .collect(),
+        };
+        serde_json::to_string(&canon).expect("stub serializer is infallible")
+    }
+
+    /// Write `results/BENCH_<figure>.json`, creating `results/` if
+    /// needed. Returns the path written.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        write_report(&self.figure, self)
+    }
+}
+
+/// Serialize any report to `results/BENCH_<name>.json` (shared by the
+/// sweep reports and `perfsmoke`'s custom shape).
+pub fn write_report<T: serde::Serialize>(name: &str, report: &T) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let json = serde_json::to_string(report).expect("stub serializer is infallible");
+    std::fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_item_order_at_any_pool_size() {
+        let items: Vec<usize> = (0..37).collect();
+        let serial = run_parallel(&items, 1, |&i| i * 3);
+        for jobs in [2, 4, 8, 64] {
+            let parallel = run_parallel(&items, jobs, |&i| i * 3);
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
+        assert_eq!(serial, (0..37).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let out: Vec<u64> = run_parallel(&[] as &[u64], 8, |&v| v);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn canonical_json_strips_wall_clock() {
+        let mk = |jobs: usize, wall: f64| {
+            let mut t = RunTelemetry::new(
+                "x".into(),
+                Duration::from_secs_f64(wall),
+                &SimStats::default(),
+            );
+            t.cycles = 42;
+            BenchReport::new("unit", jobs, Duration::from_secs_f64(wall * 2.0), vec![t])
+        };
+        assert_eq!(mk(1, 0.5).canonical_json(), mk(8, 0.125).canonical_json());
+        assert!(mk(1, 0.5).canonical_json().contains("\"cycles\":42"));
+    }
+}

@@ -32,7 +32,7 @@ use crate::config::{FetchPolicy, FetchStyle, SimConfig, SyncPolicy};
 use crate::itid::Itid;
 use crate::lvip::Lvip;
 use crate::rst::RegSharingTable;
-use crate::split::{split_instruction_at, SplitPart};
+use crate::split::{split_instruction_at, PartList, SplitPart};
 use crate::stats::SimStats;
 use mmt_frontend::{Btb, FetchSync, Ras, SyncMode, TwoLevelPredictor};
 use mmt_isa::interp::{Machine, Memory, StepInfo};
@@ -161,11 +161,20 @@ const CATCHUP_OVERSHOOT_SLACK: u64 = 256;
 
 #[derive(Debug, Clone)]
 struct Uop {
+    /// Monotonic age. Arena slots (and with them `UopId`s) are recycled
+    /// through the free-list once a uop retires, so slot indices no
+    /// longer encode dispatch order — every age comparison (commit
+    /// selection, store-older-than-load) uses `seq` instead.
+    seq: u64,
+    /// False once the slot has been reclaimed (awaiting reuse).
+    live: bool,
     itid: Itid,
     inst: Inst,
     class: OpClass,
     infos: [Option<StepInfo>; MAX_THREADS],
-    deps: Vec<UopId>,
+    /// Producers this uop waits on, as `(slot, seq)` pairs: if the slot's
+    /// current seq differs, the producer has retired (hence completed).
+    deps: Vec<(UopId, u64)>,
     detect_mask: u8,
     /// The fetch ITID had more than one owner (even if this uop is a
     /// split singleton) — extends register-merge eligibility to
@@ -183,6 +192,50 @@ impl Uop {
     fn completed(&self, now: u64) -> bool {
         self.issued && self.complete_at.is_some_and(|c| c <= now)
     }
+
+    /// Placeholder occupying a freshly grown arena slot until dispatch
+    /// fills it.
+    fn vacant() -> Uop {
+        Uop {
+            seq: 0,
+            live: false,
+            itid: Itid::single(0),
+            inst: Inst::Halt,
+            class: OpClass::IntAlu,
+            infos: [None; MAX_THREADS],
+            deps: Vec::new(),
+            detect_mask: 0,
+            fetched_merged: false,
+            issued: false,
+            complete_at: None,
+            committed_mask: 0,
+            is_mem: false,
+            accesses: 0,
+        }
+    }
+}
+
+/// Reusable per-cycle buffers for the stages whose working sets can
+/// exceed the fixed `MAX_THREADS` bound (issue width, rename width).
+/// Allocated once in [`Simulator::new`] and recycled every cycle, so the
+/// steady-state cycle loop performs no heap allocation; any post-warmup
+/// growth is counted in [`SimStats::scratch_growth_events`].
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Uops selected by the issue stage this cycle.
+    issued_ids: Vec<UopId>,
+    /// Uop ids created by the dispatch stage for one macro-op.
+    created: Vec<UopId>,
+}
+
+/// Push that counts heap growth: the telemetry behind
+/// [`SimStats::scratch_growth_events`].
+#[inline]
+fn push_counted<T>(v: &mut Vec<T>, x: T, growth_events: &mut u64) {
+    if v.len() == v.capacity() {
+        *growth_events += 1;
+    }
+    v.push(x);
 }
 
 #[derive(Debug)]
@@ -266,6 +319,11 @@ pub struct Simulator {
 
     // Back end.
     uops: Vec<Uop>,
+    /// Retired arena slots awaiting reuse — bounds the arena (and its
+    /// memory) by the ROB size instead of the dynamic instruction count.
+    free_uops: Vec<UopId>,
+    /// Next value of [`Uop::seq`].
+    next_seq: u64,
     iq: Vec<UopId>,
     rob_live: usize,
     lsq_live: usize,
@@ -293,6 +351,14 @@ pub struct Simulator {
     dbg_dispatch_hist: [u64; 9],
     stats: SimStats,
     merge_log: Vec<crate::audit::MergeEvent>,
+
+    // Hot-path caches: per-cycle scratch buffers and debug-env flags
+    // looked up once at construction instead of every cycle/branch.
+    scratch: Scratch,
+    trace: Option<std::ops::Range<u64>>,
+    dbg_sync: bool,
+    dbg_div: bool,
+    dbg_merge: bool,
 }
 
 impl Simulator {
@@ -344,7 +410,7 @@ impl Simulator {
                 hint_skip_pc: None,
                 writers: [0; NUM_REGS],
                 commit_regs: [0; NUM_REGS],
-                commit_queue: VecDeque::new(),
+                commit_queue: VecDeque::with_capacity(cfg.rob_size),
                 retired: 0,
             })
             .collect();
@@ -360,15 +426,17 @@ impl Simulator {
             btb: Btb::new(cfg.btb_entries),
             rases: (0..n).map(|_| Ras::new(cfg.ras_depth)).collect(),
             hierarchy: mmt_mem::MemoryHierarchy::new(cfg.hierarchy),
-            decode_queue: VecDeque::new(),
+            decode_queue: VecDeque::with_capacity(cfg.fetch_width * 4 + 1),
             decode_capacity: cfg.fetch_width * 4,
             rst: RegSharingTable::new_all_shared(),
             lvip: Lvip::new(cfg.lvip_entries),
-            uops: Vec::new(),
-            iq: Vec::new(),
+            uops: Vec::with_capacity(cfg.rob_size + cfg.rename_width),
+            free_uops: Vec::with_capacity(cfg.rob_size + cfg.rename_width),
+            next_seq: 0,
+            iq: Vec::with_capacity(cfg.iq_size + 1),
             rob_live: 0,
             lsq_live: 0,
-            store_lists: (0..n).map(|_| Vec::new()).collect(),
+            store_lists: (0..n).map(|_| Vec::with_capacity(cfg.lsq_size)).collect(),
             rat: (0..n).map(|_| [None; NUM_REGS]).collect(),
             pair_sync: [[(0, 0); MAX_THREADS]; MAX_THREADS],
             dbg_merge_fail_writers: 0,
@@ -381,6 +449,14 @@ impl Simulator {
             dbg_stall_other: 0,
             dbg_dispatch_hist: [0; 9],
             merge_log: Vec::new(),
+            scratch: Scratch {
+                issued_ids: Vec::with_capacity(cfg.issue_width),
+                created: Vec::with_capacity(cfg.rename_width),
+            },
+            trace: trace_range(),
+            dbg_sync: std::env::var_os("MMT_DEBUG_SYNC").is_some(),
+            dbg_div: std::env::var_os("MMT_DEBUG_DIV").is_some(),
+            dbg_merge: std::env::var_os("MMT_DEBUG_MERGE").is_some(),
             threads,
             now: 0,
             program: spec.program,
@@ -463,7 +539,7 @@ impl Simulator {
                 }
             }
             self.fetch_stage()?;
-            if let Some(range) = trace_range() {
+            if let Some(range) = self.trace.clone() {
                 if range.contains(&self.now) {
                     eprintln!(
                         "cyc {:4} fetch {} disp {} exec {} commit {} | dq {} iq {} rob {} blocked {:?}",
@@ -505,7 +581,7 @@ impl Simulator {
         self.stats.l2 = self.hierarchy.l2_stats();
         self.stats.lvip_lookups = self.lvip.lookup_count();
         self.stats.lvip_mispredicts = self.lvip.mispredict_count();
-        if std::env::var_os("MMT_DEBUG_MERGE").is_some() {
+        if self.dbg_merge {
             eprintln!(
                 "merge-check: sets={} fail_writers={} fail_compare={} idle_cycles={}",
                 self.rst.merge_set_count(),
@@ -585,6 +661,9 @@ impl Simulator {
 
         let live_mask: u8 = (1u8 << self.threads.len()) - 1;
         for (id, u) in self.uops.iter().enumerate() {
+            if !u.live {
+                continue; // retired slot awaiting reuse
+            }
             let mask = u.itid.mask();
             if mask & !live_mask != 0 {
                 return Err(format!(
@@ -657,8 +736,9 @@ impl Simulator {
         let mut budget = self.cfg.commit_width;
         let mut merge_checks = self.cfg.merge_checks_per_cycle;
         while budget > 0 {
-            // Find the lowest-id uop that is at the head of EVERY owning
-            // thread's queue and has completed execution.
+            // Find the oldest uop (by seq — slot ids are recycled) that is
+            // at the head of EVERY owning thread's queue and has completed
+            // execution.
             let mut candidate: Option<UopId> = None;
             for t in &self.threads {
                 if let Some(&head) = t.commit_queue.front() {
@@ -667,7 +747,7 @@ impl Simulator {
                             .itid
                             .threads()
                             .all(|u| self.threads[u].commit_queue.front() == Some(&head))
-                        && candidate.is_none_or(|c| head < c)
+                        && candidate.is_none_or(|c| self.uops[head].seq < self.uops[c].seq)
                     {
                         candidate = Some(head);
                     }
@@ -758,8 +838,11 @@ impl Simulator {
 
         let u = &mut self.uops[id];
         u.committed_mask = itid.mask();
+        u.live = false;
+        let is_mem = u.is_mem;
+        let complete_at = u.complete_at.expect("committed implies completed");
         self.rob_live -= 1;
-        if u.is_mem {
+        if is_mem {
             self.lsq_live -= 1;
             if matches!(inst, Inst::St { .. }) {
                 for t in itid.threads() {
@@ -767,6 +850,25 @@ impl Simulator {
                 }
             }
         }
+
+        // Convert any fetch block on this uop into a plain cycle bound
+        // before the slot is recycled. Commit precedes fetch within the
+        // cycle, so this computes exactly what fetch_stage's unblock scan
+        // would have computed from the slot this cycle.
+        let resume = complete_at + self.cfg.redirect_penalty;
+        for ts in &mut self.threads {
+            if ts.blocked_on == Some(id) {
+                ts.blocked_on = None;
+                if self.now < resume {
+                    ts.blocked_until = ts.blocked_until.max(resume);
+                }
+            }
+        }
+        push_counted(
+            &mut self.free_uops,
+            id,
+            &mut self.stats.scratch_growth_events,
+        );
     }
 
     // ----------------------------------------------------------------
@@ -781,8 +883,10 @@ impl Simulator {
 
         // Age-ordered select: the IQ vector is in dispatch order; collect
         // issued entries and remove them afterwards so the scan order
-        // stays oldest-first.
-        let mut issued_ids: Vec<UopId> = Vec::new();
+        // stays oldest-first. The collection buffer is recycled scratch
+        // (taken out for the loop because `execute_mem` needs `&mut self`).
+        let mut issued_ids = std::mem::take(&mut self.scratch.issued_ids);
+        issued_ids.clear();
         let mut i = 0;
         while i < self.iq.len() {
             if budget == 0 {
@@ -838,19 +942,22 @@ impl Simulator {
             self.stats.energy.executions += 1;
             self.stats.energy.regfile_reads += self.uops[id].inst.sources().len() as u64;
             self.stats.uops_executed += 1;
-            issued_ids.push(id);
+            push_counted(&mut issued_ids, id, &mut self.stats.scratch_growth_events);
             i += 1;
         }
         if !issued_ids.is_empty() {
             self.iq.retain(|id| !issued_ids.contains(id));
         }
+        self.scratch.issued_ids = issued_ids;
     }
 
     fn deps_ready(&self, id: UopId) -> bool {
-        self.uops[id]
-            .deps
-            .iter()
-            .all(|&d| self.uops[d].completed(self.now))
+        self.uops[id].deps.iter().all(|&(d, seq)| {
+            let dep = &self.uops[d];
+            // A seq mismatch means the producer retired and its slot was
+            // recycled — retired implies completed.
+            dep.seq != seq || dep.completed(self.now)
+        })
     }
 
     /// Loads must wait for older overlapping stores from the same thread
@@ -866,7 +973,12 @@ impl Simulator {
                 .and_then(|i| i.mem_addr)
                 .expect("load has an address");
             for &(sid, saddr) in &self.store_lists[t] {
-                if sid < id && saddr == addr && !self.uops[sid].completed(self.now) {
+                // In-flight stores are always live, so seq ordering is the
+                // dispatch ordering the recycled slot ids no longer carry.
+                if self.uops[sid].seq < u.seq
+                    && saddr == addr
+                    && !self.uops[sid].completed(self.now)
+                {
                     return false;
                 }
             }
@@ -914,6 +1026,9 @@ impl Simulator {
 
     fn dispatch_stage(&mut self) {
         let mut slots = self.cfg.rename_width;
+        // Recycled scratch for the per-macro-op uop id list (taken out for
+        // the loop because the body needs `&mut self`).
+        let mut created = std::mem::take(&mut self.scratch.created);
         // Not a `while let`: the loop body conditionally pops the front
         // only after resource checks pass.
         #[allow(clippy::while_let_loop)]
@@ -924,9 +1039,10 @@ impl Simulator {
             if mo.ready_at > self.now || slots == 0 {
                 break;
             }
-            let mo = mo.clone();
 
-            // Split (the MMT stage between decode and the RAT).
+            // Split (the MMT stage between decode and the RAT). The
+            // macro-op stays borrowed from the decode queue until the
+            // resource checks pass — no clone on the hot path.
             let mut outcome = split_instruction_at(
                 mo.pc,
                 mo.inst,
@@ -945,7 +1061,7 @@ impl Simulator {
             // rollback penalty is charged (the hardware would flush and
             // refetch; see module docs).
             let mut lvip_rollback = false;
-            let mut verified: Vec<SplitPart> = Vec::with_capacity(outcome.parts.len());
+            let mut verified = PartList::new();
             for part in &outcome.parts {
                 if part.lvip_speculative {
                     let lead = part.itid.lead();
@@ -960,10 +1076,12 @@ impl Simulator {
                     } else {
                         self.lvip.record_mismatch(mo.pc);
                         lvip_rollback = true;
-                        verified.extend(part.itid.threads().map(|t| SplitPart {
-                            itid: Itid::single(t),
-                            lvip_speculative: false,
-                        }));
+                        for t in part.itid.threads() {
+                            verified.push(SplitPart {
+                                itid: Itid::single(t),
+                                lvip_speculative: false,
+                            });
+                        }
                     }
                 } else {
                     verified.push(*part);
@@ -981,7 +1099,7 @@ impl Simulator {
             {
                 break;
             }
-            self.decode_queue.pop_front();
+            let mo = self.decode_queue.pop_front().expect("front checked above");
             slots -= parts;
             self.stats.uops_dispatched += parts as u64;
             self.stats.energy.renames += parts as u64;
@@ -989,7 +1107,11 @@ impl Simulator {
             // RST destination update (Section 4.2.3).
             if self.cfg.level.shared_execute() {
                 if let Some(rd) = mo.inst.dest() {
-                    self.rst.update_dest(rd, mo.itid, &outcome.itids());
+                    let mut itids = [Itid::single(0); MAX_THREADS];
+                    for (i, part) in outcome.parts.iter().enumerate() {
+                        itids[i] = part.itid;
+                    }
+                    self.rst.update_dest(rd, mo.itid, &itids[..parts]);
                 }
             }
 
@@ -1011,18 +1133,43 @@ impl Simulator {
             }
 
             // Create and rename the uops.
-            let mut created: Vec<UopId> = Vec::with_capacity(parts);
+            created.clear();
             for part in &outcome.parts {
-                let id = self.uops.len();
-                let mut deps = Vec::new();
+                // Allocate an arena slot: recycle a retired one (and its
+                // deps allocation) when available, so the arena is bounded
+                // by the ROB size rather than the dynamic instruction
+                // count. Deps capacity is bounded by sources × threads, so
+                // a fresh slot pre-reserves it once.
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                let (id, mut deps) = match self.free_uops.pop() {
+                    Some(id) => {
+                        let mut deps = std::mem::take(&mut self.uops[id].deps);
+                        deps.clear();
+                        (id, deps)
+                    }
+                    None => {
+                        if self.uops.len() == self.uops.capacity() {
+                            self.stats.scratch_growth_events += 1;
+                        }
+                        self.uops.push(Uop::vacant());
+                        self.stats.peak_uop_arena =
+                            self.stats.peak_uop_arena.max(self.uops.len() as u64);
+                        (self.uops.len() - 1, Vec::with_capacity(2 * MAX_THREADS))
+                    }
+                };
                 for t in part.itid.threads() {
                     for r in mo.inst.sources().iter() {
                         if r.is_zero() {
                             continue;
                         }
                         if let Some(p) = self.rat[t][r.index()] {
-                            if !deps.contains(&p) {
-                                deps.push(p);
+                            if deps.iter().all(|&(d, _)| d != p) {
+                                push_counted(
+                                    &mut deps,
+                                    (p, self.uops[p].seq),
+                                    &mut self.stats.scratch_growth_events,
+                                );
                             }
                         }
                     }
@@ -1076,7 +1223,9 @@ impl Simulator {
                 for t in part.itid.threads() {
                     infos[t] = mo.infos[t];
                 }
-                self.uops.push(Uop {
+                self.uops[id] = Uop {
+                    seq,
+                    live: true,
                     itid: part.itid,
                     inst: mo.inst,
                     class: mo.inst.class(),
@@ -1089,8 +1238,9 @@ impl Simulator {
                     committed_mask: 0,
                     is_mem,
                     accesses,
-                });
+                };
                 self.rob_live += 1;
+                self.stats.peak_live_uops = self.stats.peak_live_uops.max(self.rob_live as u64);
                 if is_mem {
                     self.lsq_live += 1;
                 }
@@ -1102,6 +1252,10 @@ impl Simulator {
                         // renamed-but-uncommitted writers.
                         self.threads[t].writers[rd.index()] += 1;
                     }
+                    let q = &self.threads[t].commit_queue;
+                    if q.len() == q.capacity() {
+                        self.stats.scratch_growth_events += 1;
+                    }
                     self.threads[t].commit_queue.push_back(id);
                     self.threads[t].inflight += 1;
                     if matches!(mo.inst, Inst::St { .. }) {
@@ -1109,11 +1263,15 @@ impl Simulator {
                             .as_ref()
                             .and_then(|i| i.mem_addr)
                             .expect("store has an address");
-                        self.store_lists[t].push((id, addr));
+                        push_counted(
+                            &mut self.store_lists[t],
+                            (id, addr),
+                            &mut self.stats.scratch_growth_events,
+                        );
                     }
                 }
-                self.iq.push(id);
-                created.push(id);
+                push_counted(&mut self.iq, id, &mut self.stats.scratch_growth_events);
+                push_counted(&mut created, id, &mut self.stats.scratch_growth_events);
             }
 
             // Resolve fetch blocks that were waiting for this
@@ -1141,6 +1299,7 @@ impl Simulator {
                 }
             }
         }
+        self.scratch.created = created;
     }
 
     // ----------------------------------------------------------------
@@ -1242,8 +1401,10 @@ impl Simulator {
             }
         }
 
-        // Build fetch entities (merge groups / singleton threads).
-        let mut entities: Vec<(u8, usize)> = Vec::new(); // (mask, lead)
+        // Build fetch entities (merge groups / singleton threads) — at
+        // most one per thread, so a fixed buffer holds them all.
+        let mut entity_buf = [(0u8, 0usize); MAX_THREADS]; // (mask, lead)
+        let mut n_entities = 0;
         for t in 0..n {
             let mask = if self.cfg.level.shared_fetch() {
                 self.sync.group_mask(t)
@@ -1251,12 +1412,14 @@ impl Simulator {
                 1 << t
             };
             if mask.trailing_zeros() as usize == t {
-                entities.push((mask, t));
+                entity_buf[n_entities] = (mask, t);
+                n_entities += 1;
             }
         }
         // Priority: CATCHUP-boosted first, then ICOUNT, throttled last.
+        // (Unstable sort is fine: `lead` is a unique final tiebreaker.)
         let now = self.now;
-        entities.sort_by_key(|&(mask, lead)| {
+        entity_buf[..n_entities].sort_unstable_by_key(|&(mask, lead)| {
             let members = Itid::from_mask(mask);
             let boosted = self.cfg.level.shared_fetch() && self.sync.boosted(lead);
             // A group is throttled when ANY member is being caught up to
@@ -1273,7 +1436,7 @@ impl Simulator {
 
         let mut slots = self.cfg.fetch_width;
         let mut entities_fetched = 0;
-        for (mask, lead) in entities {
+        for &(mask, lead) in entity_buf.iter().take(n_entities) {
             if slots == 0 || entities_fetched >= self.cfg.max_fetch_threads {
                 break;
             }
@@ -1355,9 +1518,9 @@ impl Simulator {
     /// Record that every thread pair within `mask` is synchronized right
     /// now (they share a PC: a merge, or the instant of a divergence).
     fn snapshot_pairs(&mut self, mask: u8) {
-        let members: Vec<usize> = Itid::from_mask(mask).threads().collect();
-        for &t in &members {
-            for &u in &members {
+        let members = Itid::from_mask(mask);
+        for t in members.threads() {
+            for u in members.threads() {
                 if t != u {
                     self.pair_sync[t][u] = (
                         self.threads[t].machine.retired(),
@@ -1473,7 +1636,7 @@ impl Simulator {
                         }
                         self.threads[lead].branches_since_diverge = 0;
                         self.threads[ahead].branches_since_diverge = 0;
-                        if std::env::var_os("MMT_DEBUG_SYNC").is_some() {
+                        if self.dbg_sync {
                             eprintln!("cyc {} MERGE t{lead}+t{ahead}", self.now);
                         }
                         self.sync.merge(lead, ahead);
@@ -1545,22 +1708,30 @@ impl Simulator {
                 })
             }
             Inst::Jr { .. } => {
-                // Predict through the RAS; resolve per member.
-                let predictions: Vec<Option<u64>> =
-                    members.threads().map(|t| self.rases[t].pop()).collect();
-                let lead_pred = predictions.first().copied().flatten();
+                // Predict through the RAS; resolve per member (fixed
+                // buffers: a group has at most MAX_THREADS members).
+                let mut lead_pred = None;
+                for (i, t) in members.threads().enumerate() {
+                    let pred = self.rases[t].pop();
+                    if i == 0 {
+                        lead_pred = pred;
+                    }
+                }
                 let mut mispredicted = false;
-                let mut targets: Vec<(usize, u64)> = Vec::new();
+                let mut targets = [(0usize, 0u64); MAX_THREADS];
+                let mut n_targets = 0;
                 for t in members.threads() {
                     let target = member_info(infos, t, pc, "indirect jump member")?.next_pc;
-                    targets.push((t, target));
+                    targets[n_targets] = (t, target);
+                    n_targets += 1;
                 }
+                let targets = &targets[..n_targets];
                 let uniform = targets.windows(2).all(|w| w[0].1 == w[1].1);
                 if uniform {
                     if lead_pred != Some(targets[0].1) {
                         mispredicted = true;
                     }
-                    for &(t, target) in &targets {
+                    for &(t, target) in targets {
                         if self.cfg.level.shared_fetch() {
                             self.record_taken_branch(t, target);
                         }
@@ -1576,7 +1747,7 @@ impl Simulator {
                         })
                     }
                 } else {
-                    self.diverge_members(members, pc, &targets, lead_pred)?;
+                    self.diverge_members(members, pc, targets, lead_pred)?;
                     Ok(FetchFlow::EndCycle)
                 }
             }
@@ -1592,13 +1763,17 @@ impl Simulator {
         infos: &[Option<StepInfo>; MAX_THREADS],
         predicted_taken: bool,
     ) -> Result<FetchFlow, SimError> {
-        let mut targets: Vec<(usize, u64)> = Vec::new();
-        let mut takens: Vec<(usize, bool)> = Vec::new();
+        let mut targets = [(0usize, 0u64); MAX_THREADS];
+        let mut takens = [(0usize, false); MAX_THREADS];
+        let mut n_members = 0;
         for t in members.threads() {
             let info = member_info(infos, t, pc, "conditional branch member")?;
-            targets.push((t, info.next_pc));
-            takens.push((t, info.taken == Some(true)));
+            targets[n_members] = (t, info.next_pc);
+            takens[n_members] = (t, info.taken == Some(true));
+            n_members += 1;
         }
+        let targets = &targets[..n_members];
+        let takens = &takens[..n_members];
         let uniform = takens.windows(2).all(|w| w[0].1 == w[1].1);
 
         if uniform {
@@ -1635,14 +1810,14 @@ impl Simulator {
                 // All taken threads share one target for direct branches.
                 targets
                     .iter()
-                    .zip(&takens)
+                    .zip(takens)
                     .find(|(_, &(_, tk))| tk)
                     .map(|((_, pc), _)| *pc)
                     .unwrap_or(pc + 1)
             } else {
                 pc + 1
             };
-            self.diverge_members_with_pred(members, pc, &targets, predicted_next, Some(pc + 1))?;
+            self.diverge_members_with_pred(members, pc, targets, predicted_next, Some(pc + 1))?;
             Ok(FetchFlow::EndCycle)
         }
     }
@@ -1666,7 +1841,7 @@ impl Simulator {
         // throttled; cancel such wrong-direction catch-ups using the
         // per-thread retirement counters.
         if let mmt_frontend::SyncEvent::CatchupEntered { behind, ahead } = event {
-            if std::env::var_os("MMT_DEBUG_SYNC").is_some() {
+            if self.dbg_sync {
                 eprintln!(
                     "cyc {} CATCHUP t{behind} -> t{ahead} (delta {}) groups {:?}",
                     self.now,
@@ -1725,15 +1900,21 @@ impl Simulator {
         predicted_next: u64,
         fallthrough: Option<u64>,
     ) -> Result<(), SimError> {
-        // Partition members by their actual next PC.
-        let mut parts: Vec<(u64, u8)> = Vec::new();
+        // Partition members by their actual next PC (fixed buffers: at
+        // most one part per member thread).
+        let mut part_buf = [(0u64, 0u8); MAX_THREADS];
+        let mut n_parts = 0;
         for &(t, next) in targets {
-            match parts.iter_mut().find(|(pc, _)| *pc == next) {
+            match part_buf[..n_parts].iter_mut().find(|(pc, _)| *pc == next) {
                 Some((_, mask)) => *mask |= 1 << t,
-                None => parts.push((next, 1 << t)),
+                None => {
+                    part_buf[n_parts] = (next, 1 << t);
+                    n_parts += 1;
+                }
             }
         }
-        if std::env::var_os("MMT_DEBUG_DIV").is_some() {
+        let parts = &part_buf[..n_parts];
+        if self.dbg_div {
             eprintln!("cyc {} DIVERGE pc-parts {:?}", self.now, parts);
         }
         debug_assert!(parts.len() >= 2);
@@ -1743,12 +1924,15 @@ impl Simulator {
             "divergence parts must partition the group"
         );
         if self.cfg.level.shared_fetch() {
-            let masks: Vec<u8> = parts.iter().map(|&(_, m)| m).collect();
-            self.sync.diverge(&masks);
+            let mut masks = [0u8; MAX_THREADS];
+            for (i, &(_, m)) in parts.iter().enumerate() {
+                masks[i] = m;
+            }
+            self.sync.diverge(&masks[..n_parts]);
         }
         let mut blocked_mask = 0u8;
         self.snapshot_pairs(members.mask());
-        for &(next, mask) in &parts {
+        for &(next, mask) in parts {
             let part = Itid::from_mask(mask);
             for t in part.threads() {
                 self.threads[t].branches_since_diverge = 0;

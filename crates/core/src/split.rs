@@ -34,11 +34,79 @@ pub struct SplitPart {
     pub lvip_speculative: bool,
 }
 
+/// A split's resulting parts: an inline fixed-capacity list (a split
+/// partitions an ITID, so there are never more than
+/// [`mmt_isa::MAX_THREADS`] parts). Lives entirely on the stack — the
+/// splitter runs for every dispatched instruction, and the previous
+/// `Vec<SplitPart>` representation made dispatch allocate per
+/// instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartList {
+    parts: [SplitPart; mmt_isa::MAX_THREADS],
+    len: u8,
+}
+
+impl PartList {
+    /// An empty list.
+    pub fn new() -> PartList {
+        PartList {
+            parts: [SplitPart {
+                // Placeholder for unused slots; never read (len gates).
+                itid: Itid::single(0),
+                lvip_speculative: false,
+            }; mmt_isa::MAX_THREADS],
+            len: 0,
+        }
+    }
+
+    /// Append a part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list already holds [`mmt_isa::MAX_THREADS`] parts —
+    /// impossible for any partition of a valid ITID.
+    pub fn push(&mut self, part: SplitPart) {
+        self.parts[self.len as usize] = part;
+        self.len += 1;
+    }
+}
+
+impl Default for PartList {
+    fn default() -> Self {
+        PartList::new()
+    }
+}
+
+impl std::ops::Deref for PartList {
+    type Target = [SplitPart];
+    fn deref(&self) -> &[SplitPart] {
+        &self.parts[..self.len as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a PartList {
+    type Item = &'a SplitPart;
+    type IntoIter = std::slice::Iter<'a, SplitPart>;
+    fn into_iter(self) -> Self::IntoIter {
+        self[..].iter()
+    }
+}
+
+impl FromIterator<SplitPart> for PartList {
+    fn from_iter<I: IntoIterator<Item = SplitPart>>(iter: I) -> PartList {
+        let mut list = PartList::new();
+        for p in iter {
+            list.push(p);
+        }
+        list
+    }
+}
+
 /// The splitter's decision for one fetched instruction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SplitOutcome {
     /// The minimal partition of the fetched ITID (1–4 parts).
-    pub parts: Vec<SplitPart>,
+    pub parts: PartList,
     /// True when some merged part relied on a sharing bit established by
     /// the register-merging hardware (feeds Figure 5(b)'s
     /// "Exe-Identical+RegMerge" category).
@@ -47,11 +115,13 @@ pub struct SplitOutcome {
 
 impl SplitOutcome {
     fn single(itid: Itid) -> SplitOutcome {
+        let mut parts = PartList::new();
+        parts.push(SplitPart {
+            itid,
+            lvip_speculative: false,
+        });
         SplitOutcome {
-            parts: vec![SplitPart {
-                itid,
-                lvip_speculative: false,
-            }],
+            parts,
             regmerge_assisted: false,
         }
     }
@@ -106,7 +176,7 @@ pub fn split_instruction_at(
 
     let sources = inst.sources();
     let mut remaining = itid.mask();
-    let mut parts = Vec::new();
+    let mut parts = PartList::new();
     let mut regmerge_assisted = false;
     while remaining != 0 {
         let subset = choose_largest_shared_subset(remaining, &sources, rst);
@@ -124,8 +194,8 @@ pub fn split_instruction_at(
     }
 
     if matches!(inst, Inst::Ld { .. }) && sharing == MemSharing::PerThread {
-        let mut adjusted = Vec::with_capacity(parts.len());
-        for part in parts {
+        let mut adjusted = PartList::new();
+        for part in &parts {
             if part.itid.is_merged() {
                 if lvip.predict_identical(pc) {
                     adjusted.push(SplitPart {
@@ -133,13 +203,15 @@ pub fn split_instruction_at(
                         lvip_speculative: true,
                     });
                 } else {
-                    adjusted.extend(part.itid.threads().map(|t| SplitPart {
-                        itid: Itid::single(t),
-                        lvip_speculative: false,
-                    }));
+                    for t in part.itid.threads() {
+                        adjusted.push(SplitPart {
+                            itid: Itid::single(t),
+                            lvip_speculative: false,
+                        });
+                    }
                 }
             } else {
-                adjusted.push(part);
+                adjusted.push(*part);
             }
         }
         parts = adjusted;

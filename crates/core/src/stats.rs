@@ -153,6 +153,17 @@ pub struct SimStats {
     /// Histogram over [`REMERGE_BUCKETS`] of taken branches between
     /// divergence and successful remerge (per remerging thread).
     pub remerge_branch_histogram: [u64; REMERGE_BUCKETS.len()],
+    /// Peak number of simultaneously live (dispatched, not yet
+    /// reclaimed) uops in the arena — bounded by ROB size once the
+    /// free-list reclaims retired entries.
+    pub peak_live_uops: u64,
+    /// Peak uop-arena footprint in slots (live + free-listed). Stays
+    /// flat for long runs instead of growing with instructions executed.
+    pub peak_uop_arena: u64,
+    /// Heap reallocations of the per-cycle scratch buffers after
+    /// construction. Zero after warmup: the steady-state cycle loop is
+    /// allocation-free.
+    pub scratch_growth_events: u64,
     /// L1 instruction cache statistics.
     pub l1i: CacheStats,
     /// L1 data cache statistics.

@@ -1,0 +1,172 @@
+//! Bit-identity equivalence suite for the allocation-free cycle loop.
+//!
+//! The Scratch/free-list rewrite of the pipeline hot path must not change
+//! *any* observable simulation output: final architected registers, every
+//! statistics counter, and the merge log must be bit-identical to the
+//! pre-overhaul implementation. The golden digests below were captured by
+//! running this same grid against the original (allocating, monotonic
+//! uop-arena) implementation with `MMT_PRINT_GOLDEN=1`; the test replays
+//! the grid and compares digests.
+//!
+//! Grid: one multi-threaded (Shared) app and one multi-execution
+//! (PerThread) app, at 2 and 4 threads, MMT-FXR with the merge log
+//! recorded — the configuration that exercises shared fetch, the
+//! splitter, LVIP verification, register merging and divergence
+//! bookkeeping all at once.
+
+use mmt_sim::{MmtLevel, RunSpec, SimConfig, SimResult, Simulator};
+use mmt_workloads::app_by_name;
+
+/// Test scale divisor (matches the bench crate's smoke scale).
+const SCALE: u64 = 16;
+
+/// FNV-1a, 64-bit: a stable, dependency-free digest.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn put_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.put_bytes(&v.to_le_bytes());
+    }
+}
+
+/// Digest every observable output of a run. Field order is fixed;
+/// *adding* new counters to `SimStats` does not disturb the digest, so
+/// goldens stay valid as telemetry grows — only a behavioral change in
+/// the counters hashed here (or the registers / merge log) trips it.
+fn digest(r: &SimResult) -> u64 {
+    let mut h = Fnv::new();
+    for regs in &r.final_regs {
+        for &v in regs.iter() {
+            h.put_u64(v);
+        }
+    }
+    let s = &r.stats;
+    h.put_u64(s.cycles);
+    for &v in &s.retired_per_thread {
+        h.put_u64(v);
+    }
+    h.put_u64(s.macro_ops_fetched);
+    h.put_u64(s.uops_dispatched);
+    h.put_u64(s.uops_executed);
+    h.put_u64(s.fetch_modes.merge);
+    h.put_u64(s.fetch_modes.detect);
+    h.put_u64(s.fetch_modes.catchup);
+    h.put_u64(s.identity.fetch_identical);
+    h.put_u64(s.identity.execute_identical);
+    h.put_u64(s.identity.execute_identical_regmerge);
+    h.put_u64(s.identity.private);
+    h.put_u64(s.branches);
+    h.put_u64(s.branch_mispredicts);
+    h.put_u64(s.lvip_lookups);
+    h.put_u64(s.lvip_mispredicts);
+    h.put_u64(s.divergences);
+    h.put_u64(s.remerges);
+    h.put_u64(s.catchup_false_positives);
+    for &v in &s.remerge_branch_histogram {
+        h.put_u64(v);
+    }
+    for c in [&s.l1i, &s.l1d, &s.l2] {
+        h.put_u64(c.accesses);
+        h.put_u64(c.hits);
+        h.put_u64(c.misses);
+    }
+    let e = &s.energy;
+    for v in [
+        e.cycles,
+        e.icache_accesses,
+        e.dcache_accesses,
+        e.l2_accesses,
+        e.dram_accesses,
+        e.renames,
+        e.executions,
+        e.regfile_reads,
+        e.regfile_writes,
+        e.commits,
+        e.bpred_accesses,
+        e.fhb_ops,
+        e.rst_updates,
+        e.lvip_lookups,
+        e.merge_checks,
+        e.split_evals,
+    ] {
+        h.put_u64(v);
+    }
+    h.put_u64(r.merge_log.len() as u64);
+    for ev in &r.merge_log {
+        h.put_u64(ev.pc);
+        h.put_u64(ev.itid.mask() as u64);
+        h.put_u64(ev.lvip_speculative as u64);
+        // Inst and TraceRecord have stable derived Debug formats.
+        h.put_bytes(format!("{:?}", ev.inst).as_bytes());
+        for (t, rec) in ev.members() {
+            h.put_u64(t as u64);
+            h.put_bytes(format!("{rec:?}").as_bytes());
+        }
+    }
+    h.0
+}
+
+fn run(app_name: &str, threads: usize) -> SimResult {
+    let app = app_by_name(app_name).expect("known app");
+    let w = app.instance(threads, SCALE);
+    let mut cfg = SimConfig::paper_with(threads, MmtLevel::Fxr);
+    cfg.record_merge_log = true;
+    let spec = RunSpec {
+        program: w.program,
+        sharing: w.sharing,
+        memories: w.memories,
+        threads: w.threads,
+    };
+    Simulator::new(cfg, spec)
+        .expect("valid config and spec")
+        .run()
+        .expect("workload terminates")
+}
+
+/// `(app, threads, golden digest)` — captured from the pre-overhaul
+/// implementation (see module docs).
+const GOLDENS: &[(&str, usize, u64)] = &[
+    ("fft", 2, 0x46d59b21b06e6329),
+    ("fft", 4, 0xc331513fbb8c4911),
+    ("ammp", 2, 0xa6caa2e3b73f5650),
+    ("ammp", 4, 0x02c3f859c6d101d6),
+];
+
+#[test]
+fn outputs_bit_identical_to_pre_overhaul_goldens() {
+    let print = std::env::var_os("MMT_PRINT_GOLDEN").is_some();
+    let mut failures = Vec::new();
+    for &(app, threads, want) in GOLDENS {
+        let got = digest(&run(app, threads));
+        if print {
+            println!("(\"{app}\", {threads}, {got:#018x}),");
+        } else if got != want {
+            failures.push(format!(
+                "{app} @ {threads} threads: digest {got:#018x} != golden {want:#018x}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "simulation output drifted from the pre-overhaul implementation:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The same workload run twice must produce identical output — guards
+/// against nondeterminism sneaking into the arena/scratch machinery.
+#[test]
+fn runs_are_deterministic() {
+    let a = digest(&run("fft", 2));
+    let b = digest(&run("fft", 2));
+    assert_eq!(a, b, "same workload, same digest");
+}

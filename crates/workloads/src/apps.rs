@@ -486,6 +486,35 @@ pub fn app_by_name(name: &str) -> Option<App> {
     all_apps().into_iter().find(|a| a.name == name)
 }
 
+/// Fixed seed for the `perfsmoke` microbenchmark workload — pinned so
+/// the benchmark's dynamic instruction stream is bit-identical across
+/// machines and PRs (the throughput numbers in `results/BENCH_*.json`
+/// are only comparable when the simulated work is).
+pub const PERFSMOKE_SEED: u64 = 0x00C0_FFEE;
+
+/// The `perfsmoke` workload: a deliberately long-running multi-threaded
+/// kernel (fixed [`PERFSMOKE_SEED`], moderate divergence) that keeps the
+/// cycle loop busy long enough for wall-clock timing to be stable. Not
+/// part of [`all_apps`] — it models no paper application and must not
+/// appear in the figures.
+pub fn perfsmoke_app() -> App {
+    App {
+        name: "perfsmoke",
+        suite: Suite::Splash2,
+        spec: KernelSpec {
+            common_alu: 5,
+            common_fpu: 1,
+            common_loads: 2,
+            private_alu: 6,
+            private_loads: 2,
+            divergence_inv: 20,
+            divergence: DivergenceProfile::Medium,
+            iters: 240,
+            ..mt(PERFSMOKE_SEED)
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

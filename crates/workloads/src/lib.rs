@@ -45,7 +45,7 @@ pub mod data;
 pub mod generator;
 pub mod spec;
 
-pub use apps::{all_apps, app_by_name, App, Suite};
+pub use apps::{all_apps, app_by_name, perfsmoke_app, App, Suite, PERFSMOKE_SEED};
 pub use spec::{DivergenceProfile, KernelSpec};
 
 use mmt_isa::interp::Memory;
