@@ -1,0 +1,294 @@
+//! Context-insensitive call graph over a [`Program`].
+//!
+//! Functions are discovered from the call instructions themselves: every
+//! `jal` target (in range) is a function entry, plus the pseudo-function
+//! rooted at PC 0 (`main`, which nothing calls). Each function's body is
+//! the set of PCs reachable *intraprocedurally* from its entry, where a
+//! `jal` is summarized by its fall-through edge (`pc + 1` — the call
+//! returns) and a `jr` is a function exit. A PC may belong to several
+//! functions (shared tails); the analysis stays context-insensitive and
+//! simply unions.
+//!
+//! The payoff is precise `jr` resolution: a register jump inside
+//! function `f` may return exactly to the instruction after any of `f`'s
+//! call sites, not — as the previous CFG over-approximation had it — to
+//! the instruction after *every* `jal` in the program. A `jr` with no
+//! resolvable return site (no enclosing called function, e.g. a `jr`
+//! only reachable from `main`) yields no targets and is reported in
+//! [`CallGraph::unresolved_jumps`]; the linter surfaces it as
+//! [`crate::lint::LintKind::UnresolvedIndirectJump`].
+
+use mmt_isa::{Inst, Program};
+
+/// One discovered function: an entry PC plus everything reachable from
+/// it without following calls or returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Entry PC (0 for the `main` pseudo-function, a `jal` target
+    /// otherwise).
+    pub entry: u64,
+    /// PCs in the body, sorted ascending (includes `entry`).
+    pub body: Vec<u64>,
+    /// PCs of `jr` instructions in the body (the function's returns).
+    pub returns: Vec<u64>,
+    /// PCs of `jal` instructions anywhere in the program that target
+    /// `entry` (empty for `main`).
+    pub call_sites: Vec<u64>,
+}
+
+/// The call graph of one program. See the module docs for the function
+/// discovery and `jr` resolution rules.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    funcs: Vec<Function>,
+    containing: Vec<Vec<usize>>,
+    jr_targets: Vec<Option<Vec<u64>>>,
+    unresolved: Vec<u64>,
+}
+
+impl CallGraph {
+    /// Build the call graph for `prog`. An empty program yields an empty
+    /// graph (no functions, not even `main`).
+    pub fn build(prog: &Program) -> CallGraph {
+        let insts = prog.as_slice();
+        let n = insts.len();
+        if n == 0 {
+            return CallGraph {
+                funcs: Vec::new(),
+                containing: Vec::new(),
+                jr_targets: Vec::new(),
+                unresolved: Vec::new(),
+            };
+        }
+
+        // Entries: PC 0 plus every in-range jal target, deduplicated and
+        // sorted (so `main` is always function 0).
+        let mut entries: Vec<u64> = vec![0];
+        for (_, inst) in prog.iter() {
+            if let Some(t) = inst.call_target() {
+                if (t as usize) < n {
+                    entries.push(t);
+                }
+            }
+        }
+        entries.sort_unstable();
+        entries.dedup();
+
+        let mut funcs: Vec<Function> = Vec::with_capacity(entries.len());
+        let mut containing: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &entry in &entries {
+            let idx = funcs.len();
+            let mut seen = vec![false; n];
+            let mut stack = vec![entry as usize];
+            while let Some(pc) = stack.pop() {
+                if std::mem::replace(&mut seen[pc], true) {
+                    continue;
+                }
+                containing[pc].push(idx);
+                match insts[pc] {
+                    Inst::Halt | Inst::Jr { .. } => {}
+                    Inst::Jmp { target } => {
+                        if (target as usize) < n {
+                            stack.push(target as usize);
+                        }
+                    }
+                    // Intraprocedural call summary: execution resumes at
+                    // the return site; the callee is its own function.
+                    Inst::Jal { .. } => {
+                        if pc + 1 < n {
+                            stack.push(pc + 1);
+                        }
+                    }
+                    Inst::Br { target, .. } => {
+                        if (target as usize) < n {
+                            stack.push(target as usize);
+                        }
+                        if pc + 1 < n {
+                            stack.push(pc + 1);
+                        }
+                    }
+                    _ => {
+                        if pc + 1 < n {
+                            stack.push(pc + 1);
+                        }
+                    }
+                }
+            }
+            let body: Vec<u64> = (0..n as u64).filter(|&pc| seen[pc as usize]).collect();
+            let returns: Vec<u64> = body
+                .iter()
+                .copied()
+                .filter(|&pc| insts[pc as usize].is_indirect_jump())
+                .collect();
+            funcs.push(Function {
+                entry,
+                body,
+                returns,
+                call_sites: Vec::new(),
+            });
+        }
+
+        for (pc, inst) in prog.iter() {
+            if let Some(t) = inst.call_target() {
+                if (t as usize) < n {
+                    let idx = entries.binary_search(&t).expect("every target is an entry");
+                    funcs[idx].call_sites.push(pc);
+                }
+            }
+        }
+
+        // Resolve every jr to the union of its enclosing functions'
+        // return sites. `main` (function 0, never called) contributes
+        // nothing; a jr whose target set comes out empty is unresolved.
+        let mut jr_targets: Vec<Option<Vec<u64>>> = vec![None; n];
+        let mut unresolved = Vec::new();
+        for (pc, inst) in prog.iter() {
+            if !inst.is_indirect_jump() {
+                continue;
+            }
+            let mut targets: Vec<u64> = Vec::new();
+            for &f in &containing[pc as usize] {
+                // `main` contributes nothing: its call-site list is empty
+                // unless something really does `jal 0`.
+                for &site in &funcs[f].call_sites {
+                    if (site + 1) < n as u64 {
+                        targets.push(site + 1);
+                    }
+                }
+            }
+            targets.sort_unstable();
+            targets.dedup();
+            if targets.is_empty() {
+                unresolved.push(pc);
+            }
+            jr_targets[pc as usize] = Some(targets);
+        }
+
+        CallGraph {
+            funcs,
+            containing,
+            jr_targets,
+            unresolved,
+        }
+    }
+
+    /// All discovered functions, sorted by entry PC. Function 0 is the
+    /// `main` pseudo-function (entry 0) when the program is non-empty.
+    pub fn functions(&self) -> &[Function] {
+        &self.funcs
+    }
+
+    /// Indices into [`CallGraph::functions`] of every function whose
+    /// body contains `pc` (empty for out-of-range or dead PCs).
+    pub fn containing(&self, pc: u64) -> &[usize] {
+        self.containing
+            .get(pc as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Resolved return-site PCs for the `jr` at `pc`: `Some` (possibly
+    /// empty — then also in [`CallGraph::unresolved_jumps`]) when `pc`
+    /// holds a `jr`, `None` otherwise.
+    pub fn jr_targets(&self, pc: u64) -> Option<&[u64]> {
+        self.jr_targets.get(pc as usize).and_then(|t| t.as_deref())
+    }
+
+    /// PCs of `jr` instructions with no recorded `jal` return site, in
+    /// ascending order.
+    pub fn unresolved_jumps(&self) -> &[u64] {
+        &self.unresolved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_isa::asm::Builder;
+    use mmt_isa::Reg;
+
+    #[test]
+    fn single_call_resolves_to_its_return_site() {
+        let mut b = Builder::new();
+        let func = b.label();
+        b.jal(Reg::Ra, func); // 0
+        b.halt(); // 1 (return site)
+        b.bind(func);
+        b.jr(Reg::Ra); // 2
+        let cg = CallGraph::build(&b.build().unwrap());
+        assert_eq!(cg.functions().len(), 2);
+        assert_eq!(cg.functions()[0].entry, 0);
+        assert_eq!(cg.functions()[1].entry, 2);
+        assert_eq!(cg.functions()[1].call_sites, vec![0]);
+        assert_eq!(cg.jr_targets(2), Some(&[1][..]));
+        assert!(cg.unresolved_jumps().is_empty());
+        assert_eq!(cg.jr_targets(0), None, "jal is not a jr");
+    }
+
+    #[test]
+    fn two_callers_give_two_return_sites() {
+        let mut b = Builder::new();
+        let func = b.label();
+        b.jal(Reg::Ra, func); // 0 → return site 1
+        b.jal(Reg::Ra, func); // 1 → return site 2
+        b.halt(); // 2
+        b.bind(func);
+        b.jr(Reg::Ra); // 3
+        let cg = CallGraph::build(&b.build().unwrap());
+        assert_eq!(cg.jr_targets(3), Some(&[1, 2][..]));
+    }
+
+    #[test]
+    fn distinct_functions_do_not_share_return_sites() {
+        let mut b = Builder::new();
+        let (f, g) = (b.label(), b.label());
+        b.jal(Reg::Ra, f); // 0 → site 1
+        b.jal(Reg::Ra, g); // 1 → site 2
+        b.halt(); // 2
+        b.bind(f);
+        b.jr(Reg::Ra); // 3
+        b.bind(g);
+        b.jr(Reg::Ra); // 4
+        let cg = CallGraph::build(&b.build().unwrap());
+        // The old whole-program over-approximation would have given each
+        // jr both return sites; the call graph separates them.
+        assert_eq!(cg.jr_targets(3), Some(&[1][..]));
+        assert_eq!(cg.jr_targets(4), Some(&[2][..]));
+    }
+
+    #[test]
+    fn jr_without_any_call_is_unresolved() {
+        let mut b = Builder::new();
+        b.addi(Reg::Ra, Reg::R0, 0);
+        b.jr(Reg::Ra); // reachable only from main: no return sites
+        let cg = CallGraph::build(&b.build().unwrap());
+        assert_eq!(cg.jr_targets(1), Some(&[][..]));
+        assert_eq!(cg.unresolved_jumps(), &[1]);
+    }
+
+    #[test]
+    fn shared_tail_belongs_to_both_functions() {
+        let mut b = Builder::new();
+        let (f, g, tail) = (b.label(), b.label(), b.label());
+        b.jal(Reg::Ra, f); // 0
+        b.jal(Reg::Ra, g); // 1
+        b.halt(); // 2
+        b.bind(f);
+        b.jmp(tail); // 3
+        b.bind(g);
+        b.jmp(tail); // 4
+        b.bind(tail);
+        b.jr(Reg::Ra); // 5
+        let cg = CallGraph::build(&b.build().unwrap());
+        assert_eq!(cg.containing(5).len(), 2, "tail shared by f and g");
+        // The shared return may go back to either caller's return site.
+        assert_eq!(cg.jr_targets(5), Some(&[1, 2][..]));
+    }
+
+    #[test]
+    fn empty_program_has_no_functions() {
+        let cg = CallGraph::build(&Program::from_insts(Vec::new()));
+        assert!(cg.functions().is_empty());
+        assert!(cg.unresolved_jumps().is_empty());
+    }
+}

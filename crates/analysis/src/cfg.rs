@@ -4,13 +4,18 @@
 //! static branch/jump target, and every instruction after a control
 //! transfer (or `halt`) starts a block. Successor edges come from each
 //! block's final instruction; `jr` — whose target is dynamic — is
-//! approximated by the program's call structure: a register jump may
-//! return to the instruction after any `jal` (the only producers of code
-//! addresses in this ISA). The approximation is sound for the
-//! reducible call/return programs the workload generator emits, and it
-//! only over-approximates (extra edges, never missing ones), which is the
-//! safe direction for every client in this crate.
+//! resolved through the [`CallGraph`]: a register jump inside a called
+//! function may return to the instruction after any of *that function's*
+//! call sites (`jal` is the only producer of code addresses in this
+//! ISA). This is sound for the call/return-disciplined programs the
+//! workload generator emits and strictly more precise than the previous
+//! whole-program return-site over-approximation. A `jr` the call graph
+//! cannot resolve gets *no* successors, and its PC is reported through
+//! [`Cfg::unresolved_indirect_jumps`] so the linter can flag it
+//! ([`crate::lint::LintKind::UnresolvedIndirectJump`]) instead of the
+//! CFG guessing silently.
 
+use crate::callgraph::CallGraph;
 use mmt_isa::{Inst, Program};
 
 /// A maximal straight-line run of instructions `[start, end)`.
@@ -50,6 +55,7 @@ pub struct Cfg {
     blocks: Vec<BasicBlock>,
     block_of_pc: Vec<usize>,
     reachable: Vec<bool>,
+    call_graph: CallGraph,
 }
 
 impl Cfg {
@@ -62,6 +68,7 @@ impl Cfg {
                 blocks: Vec::new(),
                 block_of_pc: Vec::new(),
                 reachable: Vec::new(),
+                call_graph: CallGraph::build(prog),
             };
         }
 
@@ -99,14 +106,10 @@ impl Cfg {
             }
         }
 
-        // `jr` approximation: every instruction after a `jal` is a
-        // possible return site.
-        let jal_returns: Vec<usize> = insts
-            .iter()
-            .enumerate()
-            .filter(|(pc, inst)| matches!(inst, Inst::Jal { .. }) && pc + 1 < n)
-            .map(|(pc, _)| block_of_pc[pc + 1])
-            .collect();
+        // Precise `jr` resolution: each register jump returns only to
+        // its enclosing functions' call sites. Return sites are always
+        // leaders (a `jal` ends its block), so no boundary shifts.
+        let call_graph = CallGraph::build(prog);
 
         let mut edges: Vec<(usize, usize)> = Vec::new();
         for (b, blk) in blocks.iter_mut().enumerate() {
@@ -127,7 +130,11 @@ impl Cfg {
                         succs.push(block_of_pc[last_pc + 1]);
                     }
                 }
-                Inst::Jr { .. } => succs.extend(jal_returns.iter().copied()),
+                Inst::Jr { .. } => {
+                    if let Some(targets) = call_graph.jr_targets(last_pc as u64) {
+                        succs.extend(targets.iter().map(|&t| block_of_pc[t as usize]));
+                    }
+                }
                 _ => {
                     if last_pc + 1 < n {
                         succs.push(block_of_pc[last_pc + 1]);
@@ -161,6 +168,7 @@ impl Cfg {
             blocks,
             block_of_pc,
             reachable,
+            call_graph,
         }
     }
 
@@ -182,6 +190,17 @@ impl Cfg {
     /// The entry block (contains PC 0). Panics on an empty graph.
     pub fn entry(&self) -> usize {
         self.block_of_pc[0]
+    }
+
+    /// The call graph the `jr` edges were resolved through.
+    pub fn call_graph(&self) -> &CallGraph {
+        &self.call_graph
+    }
+
+    /// PCs of `jr` instructions with no recorded `jal` return site:
+    /// these blocks got *no* successors rather than a silent guess.
+    pub fn unresolved_indirect_jumps(&self) -> &[u64] {
+        self.call_graph.unresolved_jumps()
     }
 }
 
@@ -244,7 +263,7 @@ mod tests {
     }
 
     #[test]
-    fn jr_connects_to_all_return_sites() {
+    fn jr_connects_to_its_callers_return_sites() {
         use mmt_isa::Reg;
         let mut b = Builder::new();
         let func = b.label();
@@ -257,6 +276,38 @@ mod tests {
         let ret_site = cfg.block_of(1).unwrap();
         assert_eq!(cfg.blocks()[fblk].succs, vec![ret_site]);
         assert!(cfg.is_reachable(ret_site));
+        assert!(cfg.unresolved_indirect_jumps().is_empty());
+    }
+
+    #[test]
+    fn jr_edges_are_per_function_not_whole_program() {
+        use mmt_isa::Reg;
+        let mut b = Builder::new();
+        let (f, g) = (b.label(), b.label());
+        b.jal(Reg::Ra, f); // 0 → return site 1
+        b.jal(Reg::Ra, g); // 1 → return site 2
+        b.halt(); // 2
+        b.bind(f);
+        b.jr(Reg::Ra); // 3
+        b.bind(g);
+        b.jr(Reg::Ra); // 4
+        let cfg = Cfg::build(&b.build().unwrap());
+        let f_blk = cfg.block_of(3).unwrap();
+        let g_blk = cfg.block_of(4).unwrap();
+        assert_eq!(cfg.blocks()[f_blk].succs, vec![cfg.block_of(1).unwrap()]);
+        assert_eq!(cfg.blocks()[g_blk].succs, vec![cfg.block_of(2).unwrap()]);
+    }
+
+    #[test]
+    fn unresolved_jr_gets_no_successors_and_is_reported() {
+        use mmt_isa::Reg;
+        let mut b = Builder::new();
+        b.addi(Reg::Ra, Reg::R0, 0);
+        b.jr(Reg::Ra); // no jal anywhere: unresolvable
+        let cfg = Cfg::build(&b.build().unwrap());
+        let blk = cfg.block_of(1).unwrap();
+        assert!(cfg.blocks()[blk].succs.is_empty());
+        assert_eq!(cfg.unresolved_indirect_jumps(), &[1]);
     }
 
     #[test]

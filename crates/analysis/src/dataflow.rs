@@ -78,6 +78,30 @@ impl RegState {
         }
     }
 
+    /// Divergence demotion (see [`Analysis::run_with_demotions`]): every
+    /// register in `mask` whose value is path-dependent (no agreed
+    /// constant) loses its `Invariant` claim, because threads arriving
+    /// here may have travelled different paths of a divergent region and
+    /// written it differently. A register that provably holds the *same*
+    /// constant on every path is cross-thread equal regardless of path
+    /// and keeps its claim. Returns whether anything changed.
+    fn demote(&mut self, mask: u32) -> bool {
+        if mask == 0 {
+            return false;
+        }
+        let mut changed = false;
+        for (i, fact) in self.regs.iter_mut().enumerate() {
+            if mask & (1u32 << i) == 0 {
+                continue;
+            }
+            if fact.konst.is_none() && fact.inv < Invariance::ThreadDependent {
+                fact.inv = Invariance::ThreadDependent;
+                changed = true;
+            }
+        }
+        changed
+    }
+
     /// Join `other` into `self` (control-flow merge). Returns whether
     /// anything changed, for the fixpoint worklist.
     fn join_from(&mut self, other: &RegState) -> bool {
@@ -198,6 +222,24 @@ impl Analysis {
     /// address is; any store — or per-thread memories — forces loads to
     /// [`Invariance::Top`].
     pub fn run(prog: &Program, cfg: &Cfg, sharing: MemSharing) -> Analysis {
+        Analysis::run_with_demotions(prog, cfg, sharing, &[])
+    }
+
+    /// Run the analysis with per-block *entry demotion masks*, the hook
+    /// the divergence analysis ([`crate::divergence`]) drives: bit `r` of
+    /// `demote[b]` means "at the entry of block `b`, register `r` may
+    /// have been written differently by threads that took different
+    /// paths of a divergent region, so its `Invariant` claim must drop
+    /// to [`Invariance::ThreadDependent`] unless it provably holds one
+    /// constant on every path". An empty slice (or a zero mask) demotes
+    /// nothing, which makes [`Analysis::run`] the plain lockstep
+    /// analysis.
+    pub fn run_with_demotions(
+        prog: &Program,
+        cfg: &Cfg,
+        sharing: MemSharing,
+        demote: &[u32],
+    ) -> Analysis {
         let insts = prog.as_slice();
         let n = insts.len();
         let has_stores = insts.iter().any(|i| matches!(i, Inst::St { .. }));
@@ -211,8 +253,11 @@ impl Analysis {
         }
 
         let nb = cfg.blocks().len();
+        let mask_of = |b: usize| demote.get(b).copied().unwrap_or(0);
         let mut inb: Vec<Option<RegState>> = vec![None; nb];
-        inb[cfg.entry()] = Some(RegState::entry());
+        let mut entry_state = RegState::entry();
+        entry_state.demote(mask_of(cfg.entry()));
+        inb[cfg.entry()] = Some(entry_state);
         let mut work: VecDeque<usize> = VecDeque::from([cfg.entry()]);
         while let Some(b) = work.pop_front() {
             let blk = &cfg.blocks()[b];
@@ -221,10 +266,19 @@ impl Analysis {
                 transfer(&mut state, pc, &insts[pc as usize], loads_invariant);
             }
             for &succ in &blk.succs {
+                let mask = mask_of(succ);
                 let changed = match &mut inb[succ] {
-                    Some(t) => t.join_from(&state),
+                    Some(t) => {
+                        let joined = t.join_from(&state);
+                        // Re-apply after every join: a join can drop an
+                        // agreed constant, re-exposing the register to
+                        // the demotion.
+                        t.demote(mask) || joined
+                    }
                     slot @ None => {
-                        *slot = Some(state.clone());
+                        let mut s = state.clone();
+                        s.demote(mask);
+                        *slot = Some(s);
                         true
                     }
                 };
@@ -341,6 +395,48 @@ mod tests {
         // lattice deliberately does not model — it stays a lower bound
         // for the linter, while the oracle checks dynamic values.
         assert_eq!(s.get(Reg::R1).inv, Invariance::ThreadDependent);
+    }
+
+    #[test]
+    fn demotion_masks_drop_invariance_except_agreed_constants() {
+        let mut b = Builder::new();
+        let (els, join) = (b.label(), b.label());
+        b.tid(Reg::R1); // 0
+        b.beq(Reg::R1, Reg::R0, els); // 1: divergent
+        b.addi(Reg::R2, Reg::R0, 1); // 2
+        b.addi(Reg::R3, Reg::R0, 5); // 3
+        b.jmp(join); // 4
+        b.bind(els);
+        b.addi(Reg::R2, Reg::R0, 2); // 5
+        b.addi(Reg::R3, Reg::R0, 5); // 6: same constant both paths
+        b.bind(join);
+        b.halt(); // 7
+        let prog = b.build().unwrap();
+        let cfg = Cfg::build(&prog);
+        let join_blk = cfg.block_of(7).unwrap();
+        let mut demote = vec![0u32; cfg.blocks().len()];
+        demote[join_blk] = (1 << Reg::R2.index()) | (1 << Reg::R3.index());
+        let a = Analysis::run_with_demotions(&prog, &cfg, MemSharing::Shared, &demote);
+        let s = a.before(7).unwrap();
+        assert_eq!(
+            s.get(Reg::R2).inv,
+            Invariance::ThreadDependent,
+            "1 vs 2 depending on the thread's path"
+        );
+        assert_eq!(
+            s.get(Reg::R3).inv,
+            Invariance::Invariant,
+            "5 on every path: equal regardless of path taken"
+        );
+        assert_eq!(s.get(Reg::R3).konst, Some(5));
+
+        // Without the mask, the per-register lattice misses the
+        // path-dependence (the hole the divergence analysis closes).
+        let plain = Analysis::run(&prog, &cfg, MemSharing::Shared);
+        assert_eq!(
+            plain.before(7).unwrap().get(Reg::R2).inv,
+            Invariance::Invariant
+        );
     }
 
     #[test]

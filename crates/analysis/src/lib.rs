@@ -1,23 +1,32 @@
 //! # mmt-analysis — static analysis and differential checking for MMT
 //!
-//! Three layers over the shared [`mmt_isa::Program`] representation:
+//! Four layers over the shared [`mmt_isa::Program`] representation:
 //!
-//! 1. [`cfg`] + [`dataflow`] — basic-block CFG construction and a forward
-//!    dataflow pass computing, per register and program point, a
-//!    thread-invariance lattice ([`Invariance`]), constant values, and
-//!    definite initialization.
-//! 2. [`lint`] — a program linter built on those facts: out-of-range
+//! 1. [`callgraph`] + [`cfg`] + [`dataflow`] — interprocedural call
+//!    graph (`jal`/`jr` return-site summaries), basic-block CFG
+//!    construction, and a forward dataflow pass computing, per register
+//!    and program point, a thread-invariance lattice ([`Invariance`]),
+//!    constant values, and definite initialization.
+//! 2. [`structure`] + [`divergence`] — dominator and post-dominator
+//!    trees, natural-loop detection, and the divergence analysis:
+//!    every branch is classified thread-invariant or divergent, and
+//!    registers written inside a divergent region lose their invariance
+//!    claim at the reconvergence point (the branch's immediate
+//!    post-dominator).
+//! 3. [`lint`] — a program linter built on those facts: out-of-range
 //!    branch targets, falling off the end without `halt`, unreachable
 //!    blocks, reads of never-written registers, stores into the reserved
-//!    low-memory region.
-//! 3. [`oracle`] — the differential redundancy oracle: a static
-//!    must-merge / may-merge / must-split classification of every
+//!    low-memory region, unresolvable indirect jumps.
+//! 4. [`oracle`] + [`predict`] — the differential redundancy oracle: a
+//!    static must-merge / may-merge / must-split classification of every
 //!    instruction, and [`Oracle::check`], which replays the simulator's
 //!    merge log (`mmt_sim` with `record_merge_log`) and independently
 //!    verifies that every dynamic merge was between execute-identical
 //!    instructions. The timing model is oracle-functional, so an unsound
 //!    merge cannot corrupt architected results — this replay is what
-//!    makes such a bug loud instead of silent.
+//!    makes such a bug loud instead of silent. [`predict`] turns the
+//!    same facts into per-program savings predictions with guaranteed
+//!    bounds, validated dynamically by the `mmtpredict` bench binary.
 //!
 //! ## Example
 //!
@@ -44,12 +53,20 @@
 
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod cfg;
 pub mod dataflow;
+pub mod divergence;
 pub mod lint;
 pub mod oracle;
+pub mod predict;
+pub mod structure;
 
+pub use callgraph::{CallGraph, Function};
 pub use cfg::{BasicBlock, Cfg};
 pub use dataflow::{Analysis, Invariance, RegFact, RegState};
+pub use divergence::{BranchClass, DivergenceAnalysis, DivergencePoint};
 pub use lint::{has_errors, lint_program, Lint, LintKind, Severity};
 pub use oracle::{MergeClass, Oracle, OracleReport};
+pub use predict::{predict, Prediction};
+pub use structure::{DomTree, LoopForest, NaturalLoop, PostDomTree};

@@ -57,6 +57,11 @@ pub enum LintKind {
     /// A store with a statically-known address hits the reserved
     /// low-memory region (see [`RESERVED_WORDS`]).
     StoreToReservedRegion,
+    /// A `jr` with no recorded `jal` return site: the call graph cannot
+    /// resolve its target, so the CFG gives it no successors instead of
+    /// guessing. Code that is only reachable through such a jump looks
+    /// unreachable to every static client.
+    UnresolvedIndirectJump,
 }
 
 /// One linter finding.
@@ -129,6 +134,19 @@ pub fn lint_program(prog: &Program) -> Vec<Lint> {
 
     let cfg = Cfg::build(prog);
     let analysis = Analysis::run(prog, &cfg, MemSharing::PerThread);
+
+    for &pc in cfg.unresolved_indirect_jumps() {
+        lints.push(Lint {
+            pc: Some(pc),
+            kind: LintKind::UnresolvedIndirectJump,
+            severity: Severity::Warning,
+            message: format!(
+                "`{}` has no recorded `jal` return site: the call graph cannot \
+                 resolve its target, so the CFG records no successors",
+                insts[pc as usize]
+            ),
+        });
+    }
 
     for (b, blk) in cfg.blocks().iter().enumerate() {
         if !cfg.is_reachable(b) {
@@ -306,6 +324,26 @@ mod tests {
         let lints = lint_program(&b.build().unwrap());
         assert_eq!(kinds(&lints), vec![LintKind::UnreachableBlock]);
         assert!(!has_errors(&lints));
+    }
+
+    #[test]
+    fn unresolved_jr_is_a_warning_not_an_error() {
+        let mut b = Builder::new();
+        b.addi(Reg::Ra, Reg::R0, 0);
+        b.jr(Reg::Ra); // no jal anywhere
+        let lints = lint_program(&b.build().unwrap());
+        assert!(kinds(&lints).contains(&LintKind::UnresolvedIndirectJump));
+        assert!(!has_errors(&lints));
+
+        // A call-disciplined jr is resolved and clean.
+        let mut b = Builder::new();
+        let func = b.label();
+        b.jal(Reg::Ra, func);
+        b.halt();
+        b.bind(func);
+        b.jr(Reg::Ra);
+        let lints = lint_program(&b.build().unwrap());
+        assert!(!kinds(&lints).contains(&LintKind::UnresolvedIndirectJump));
     }
 
     #[test]

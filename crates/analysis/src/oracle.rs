@@ -13,7 +13,9 @@
 //! instructions — two independent derivations that must agree.
 
 use crate::cfg::Cfg;
-use crate::dataflow::{Analysis, Invariance};
+use crate::dataflow::Invariance;
+use crate::divergence::DivergenceAnalysis;
+use crate::structure::PostDomTree;
 use mmt_isa::{Inst, MemSharing, Program, MAX_THREADS};
 use mmt_sim::MergeEvent;
 use std::fmt;
@@ -66,10 +68,16 @@ pub struct Oracle {
 
 impl Oracle {
     /// Classify every instruction of `prog` under the given memory
-    /// sharing model.
+    /// sharing model, using the divergence-refined invariance facts
+    /// (see [`crate::divergence`]): a register written differently on
+    /// the paths of a divergent region no longer counts as invariant at
+    /// the reconvergence point, so `MustMerge` here really does mean
+    /// "merged threads at this PC always hold equal operands".
     pub fn new(prog: &Program, sharing: MemSharing) -> Oracle {
         let cfg = Cfg::build(prog);
-        let analysis = Analysis::run(prog, &cfg, sharing);
+        let pdom = PostDomTree::build(&cfg);
+        let div = DivergenceAnalysis::run(prog, &cfg, &pdom, sharing);
+        let analysis = div.analysis();
         let classes = prog
             .iter()
             .map(|(pc, inst)| {
@@ -194,8 +202,13 @@ impl Oracle {
     }
 }
 
-/// Classify one instruction given the dataflow state before it.
-fn classify(inst: &Inst, state: &crate::dataflow::RegState, loads_invariant: bool) -> MergeClass {
+/// Classify one instruction given the dataflow state before it. Shared
+/// with the static predictor so both always agree per PC.
+pub(crate) fn classify(
+    inst: &Inst,
+    state: &crate::dataflow::RegState,
+    loads_invariant: bool,
+) -> MergeClass {
     if matches!(inst, Inst::Tid { .. }) {
         return MergeClass::MustSplit;
     }
@@ -251,6 +264,34 @@ mod tests {
         assert_eq!(shared.class_of(1), Some(MergeClass::MustMerge));
         let per_thread = Oracle::new(&prog, MemSharing::PerThread);
         assert_eq!(per_thread.class_of(1), Some(MergeClass::MayMerge));
+    }
+
+    #[test]
+    fn path_dependent_consumers_are_not_must_merge() {
+        // R2 ends up 1 or 2 depending on which arm the thread took, so
+        // its consumer after the join must not claim a guaranteed merge.
+        let mut b = Builder::new();
+        let (els, join) = (b.label(), b.label());
+        b.tid(Reg::R1); // 0
+        b.beq(Reg::R1, Reg::R0, els); // 1
+        b.addi(Reg::R2, Reg::R0, 1); // 2
+        b.jmp(join); // 3
+        b.bind(els);
+        b.addi(Reg::R2, Reg::R0, 2); // 4
+        b.bind(join);
+        b.alu_add(Reg::R4, Reg::R2, Reg::R2); // 5
+        b.halt(); // 6
+        let o = Oracle::new(&b.build().unwrap(), MemSharing::Shared);
+        assert_eq!(
+            o.class_of(5),
+            Some(MergeClass::MayMerge),
+            "divergence refinement drops the invariance claim"
+        );
+        assert_eq!(
+            o.class_of(6),
+            Some(MergeClass::MustMerge),
+            "halt unaffected"
+        );
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! The static savings predictor: per-program MMT merge predictions from
+//! structure alone — no simulation.
+//!
+//! ## What is guaranteed vs. modeled
+//!
+//! The *bounds* are guarantees derivable from the pipeline's invariants:
+//!
+//! * **Upper bound** on the merge-mode fetch fraction: trivially 1.0
+//!   whenever any divergent branch is reachable (the FHB may remerge
+//!   threads immediately, and a statically-divergent branch can be
+//!   dynamically uniform), and *exactly* 1.0 for statically
+//!   divergence-free programs — threads start merged at PC 0, every
+//!   branch condition is thread-invariant so all threads take the same
+//!   direction, and nothing else splits fetch.
+//! * **Lower bound**: the loop-weighted fraction of reachable
+//!   instructions in blocks *not tainted by divergence*, where tainted
+//!   means reachable (transitively, along any CFG path) from a divergent
+//!   branch's successors. An untainted block can only execute before the
+//!   first divergence, hence always in MERGE mode; everything else may,
+//!   in the worst case, be fetched split forever (the FHB search is
+//!   finite and remerge alignment is bounded, so no remerge is
+//!   guaranteed). For divergence-free programs nothing is tainted and
+//!   the bounds pinch to exactly 1.0 — `mmtpredict` checks the dynamic
+//!   fraction falls inside `[lower, upper]` for every workload.
+//!
+//! The *point estimate* ([`Prediction::merge_frac_est`]) is a calibrated
+//! model, not a guarantee: it assumes ideal reconvergence (threads
+//! remerge exactly at each divergent branch's immediate post-dominator),
+//! so only the divergence *regions* fetch split. It always lies inside
+//! the guaranteed bounds (regions are a subset of the taint).
+//!
+//! Instruction weights are `LOOP_WEIGHT^depth` with depth from natural
+//! loop nesting — a static stand-in for execution frequency that makes
+//! a detour inside a doubly-nested loop count for more than prologue
+//! code.
+
+use crate::cfg::Cfg;
+use crate::dataflow::Invariance;
+use crate::divergence::DivergenceAnalysis;
+use crate::oracle::{classify, MergeClass};
+use crate::structure::{DomTree, LoopForest, PostDomTree};
+use mmt_isa::{MemSharing, Program};
+
+/// Weight multiplier per loop-nesting level (16 ≈ a short inner loop;
+/// only ratios of weights matter, not the absolute value).
+pub const LOOP_WEIGHT: f64 = 16.0;
+
+/// Per-program static prediction of MMT merge behaviour for a given
+/// thread count. See the module docs for bound semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Thread count the uop/savings numbers are scaled for.
+    pub threads: usize,
+    /// Statically reachable instructions.
+    pub reachable_insts: usize,
+    /// Reachable instructions classified [`MergeClass::MustMerge`].
+    pub must_merge: usize,
+    /// Reachable instructions classified [`MergeClass::MayMerge`].
+    pub may_merge: usize,
+    /// Reachable instructions classified [`MergeClass::MustSplit`].
+    pub must_split: usize,
+    /// Reachable control transfers classified divergent / uniform.
+    pub divergent_branches: usize,
+    /// Reachable control transfers every thread takes identically.
+    pub uniform_branches: usize,
+    /// Natural loops found.
+    pub loops: usize,
+    /// Deepest loop nesting level.
+    pub max_loop_depth: usize,
+    /// Functions in the call graph (including `main`).
+    pub functions: usize,
+    /// `jr` instructions the call graph could not resolve.
+    pub unresolved_jumps: usize,
+    /// Guaranteed lower bound on the dynamic merge-mode fetch fraction.
+    pub merge_frac_lower: f64,
+    /// Guaranteed upper bound on the dynamic merge-mode fetch fraction.
+    pub merge_frac_upper: f64,
+    /// Ideal-reconvergence point estimate (inside the bounds).
+    pub merge_frac_est: f64,
+    /// Loop-weighted fraction of fetched instructions that are
+    /// must-merge (guaranteed executable once for all merged threads).
+    pub must_merge_uop_frac: f64,
+    /// Loop-weighted fraction that are may-merge (merge soundness
+    /// decided dynamically by operand comparison).
+    pub may_merge_uop_frac: f64,
+    /// Expected uops dispatched per fetched instruction slot when
+    /// threads are merged: 1 = fully merged, `threads` = fully split.
+    pub expected_split_degree: f64,
+    /// Guaranteed lower bound on the fraction of execution work saved
+    /// versus `threads` independent cores (must-merge work in untainted
+    /// blocks always merges).
+    pub savings_lower: f64,
+    /// Upper bound on the saved fraction: all must- and may-merge work
+    /// merges fully, saving `(t-1)/t` of its uops.
+    pub savings_upper: f64,
+}
+
+/// Run the full static stack (CFG + call graph + dominators +
+/// post-dominators + loops + divergence-refined dataflow) and derive a
+/// [`Prediction`] for `threads` hardware threads.
+pub fn predict(prog: &Program, sharing: MemSharing, threads: usize) -> Prediction {
+    let cfg = Cfg::build(prog);
+    let dom = DomTree::dominators(&cfg);
+    let pdom = PostDomTree::build(&cfg);
+    let loops = LoopForest::find(&cfg, &dom);
+    let div = DivergenceAnalysis::run(prog, &cfg, &pdom, sharing);
+    let analysis = div.analysis();
+    let insts = prog.as_slice();
+    let nb = cfg.blocks().len();
+    let t = threads.max(1) as f64;
+
+    // Taint: blocks reachable from any divergent branch's successors —
+    // everything that can possibly execute after a divergence.
+    let mut tainted = vec![false; nb];
+    let mut stack: Vec<usize> = Vec::new();
+    for p in div.divergence_points() {
+        stack.extend(cfg.blocks()[p.block].succs.iter().copied());
+    }
+    while let Some(b) = stack.pop() {
+        if std::mem::replace(&mut tainted[b], true) {
+            continue;
+        }
+        stack.extend(cfg.blocks()[b].succs.iter().copied());
+    }
+
+    // Region taint: only the blocks strictly inside a divergence region
+    // (between the branch and its reconvergence point) — the ideal-
+    // reconvergence model's split set.
+    let mut region_tainted = vec![false; nb];
+    for p in div.divergence_points() {
+        let mut stack: Vec<usize> = cfg.blocks()[p.block].succs.clone();
+        while let Some(b) = stack.pop() {
+            if Some(b) == p.reconverge || std::mem::replace(&mut region_tainted[b], true) {
+                continue;
+            }
+            stack.extend(cfg.blocks()[b].succs.iter().copied());
+        }
+    }
+
+    let mut reachable_insts = 0usize;
+    let (mut must, mut may, mut split) = (0usize, 0usize, 0usize);
+    let mut w_total = 0.0f64;
+    let mut w_untainted = 0.0f64;
+    let mut w_unregioned = 0.0f64;
+    let mut w_must = 0.0f64;
+    let mut w_may = 0.0f64;
+    let mut w_must_untainted = 0.0f64;
+    let mut w_degree = 0.0f64;
+
+    for (b, blk) in cfg.blocks().iter().enumerate() {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        let w = LOOP_WEIGHT.powi(loops.depth(b) as i32);
+        for pc in blk.pcs() {
+            let Some(state) = analysis.before(pc) else {
+                continue;
+            };
+            let inst = &insts[pc as usize];
+            let class = classify(inst, state, analysis.loads_invariant());
+            reachable_insts += 1;
+            w_total += w;
+            if !tainted[b] {
+                w_untainted += w;
+            }
+            if !region_tainted[b] {
+                w_unregioned += w;
+            }
+            match class {
+                MergeClass::MustMerge => {
+                    must += 1;
+                    w_must += w;
+                    w_degree += w; // executes once for the whole group
+                    if !tainted[b] {
+                        w_must_untainted += w;
+                    }
+                }
+                MergeClass::MayMerge => {
+                    may += 1;
+                    w_may += w;
+                    // Thread-dependent operands are expected to differ
+                    // (full split); unknown operands may or may not.
+                    let expected_differs = inst
+                        .sources()
+                        .iter()
+                        .any(|r| state.get(r).inv == Invariance::ThreadDependent);
+                    w_degree += if expected_differs {
+                        w * t
+                    } else {
+                        w * (1.0 + t) / 2.0
+                    };
+                }
+                MergeClass::MustSplit => {
+                    split += 1;
+                    w_degree += w * t;
+                }
+            }
+        }
+    }
+
+    let frac = |x: f64| if w_total > 0.0 { x / w_total } else { 1.0 };
+    let merge_frac_lower = frac(w_untainted);
+    let merge_frac_est = frac(w_unregioned);
+    let merge_frac_upper = 1.0;
+    let (uniform_branches, divergent_branches) = div.branch_counts();
+
+    Prediction {
+        threads,
+        reachable_insts,
+        must_merge: must,
+        may_merge: may,
+        must_split: split,
+        divergent_branches,
+        uniform_branches,
+        loops: loops.loops.len(),
+        max_loop_depth: loops.max_depth(),
+        functions: cfg.call_graph().functions().len(),
+        unresolved_jumps: cfg.unresolved_indirect_jumps().len(),
+        merge_frac_lower,
+        merge_frac_upper,
+        merge_frac_est,
+        must_merge_uop_frac: if w_total > 0.0 { w_must / w_total } else { 0.0 },
+        may_merge_uop_frac: if w_total > 0.0 { w_may / w_total } else { 0.0 },
+        expected_split_degree: if w_total > 0.0 {
+            w_degree / w_total
+        } else {
+            1.0
+        },
+        savings_lower: (t - 1.0) / t
+            * if w_total > 0.0 {
+                w_must_untainted / w_total
+            } else {
+                0.0
+            },
+        savings_upper: (t - 1.0) / t
+            * if w_total > 0.0 {
+                (w_must + w_may) / w_total
+            } else {
+                0.0
+            },
+    }
+}
+
+impl Prediction {
+    /// Whether `measured` (a dynamic merge-mode fetch fraction) falls
+    /// inside the guaranteed `[lower, upper]` bracket, with a small
+    /// epsilon for float accumulation.
+    pub fn brackets(&self, measured: f64) -> bool {
+        measured >= self.merge_frac_lower - 1e-9 && measured <= self.merge_frac_upper + 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_isa::asm::Builder;
+    use mmt_isa::Reg;
+
+    #[test]
+    fn divergence_free_program_pins_bounds_to_one() {
+        let mut b = Builder::new();
+        let top = b.label();
+        b.addi(Reg::R1, Reg::R0, 4);
+        b.bind(top);
+        b.addi(Reg::R1, Reg::R1, -1);
+        b.bne(Reg::R1, Reg::R0, top);
+        b.halt();
+        let p = predict(&b.build().unwrap(), MemSharing::Shared, 2);
+        assert_eq!(p.divergent_branches, 0);
+        assert_eq!(p.uniform_branches, 1);
+        assert_eq!(p.merge_frac_lower, 1.0);
+        assert_eq!(p.merge_frac_upper, 1.0);
+        assert_eq!(p.merge_frac_est, 1.0);
+        assert_eq!(p.loops, 1);
+        assert!(p.brackets(1.0));
+        assert!(!p.brackets(0.9));
+        assert!(
+            (p.expected_split_degree - 1.0).abs() < 1e-12,
+            "all must-merge"
+        );
+        assert!(
+            (p.savings_upper - 0.5).abs() < 1e-12,
+            "2 threads: half saved"
+        );
+    }
+
+    #[test]
+    fn divergent_branch_opens_the_bracket_and_orders_the_estimates() {
+        let mut b = Builder::new();
+        let (els, join) = (b.label(), b.label());
+        b.tid(Reg::R1); // prologue (untainted)
+        b.beq(Reg::R1, Reg::R0, els);
+        b.addi(Reg::R2, Reg::R0, 1);
+        b.jmp(join);
+        b.bind(els);
+        b.addi(Reg::R2, Reg::R0, 2);
+        b.bind(join);
+        b.addi(Reg::R3, Reg::R0, 7); // post-reconvergence
+        b.halt();
+        let p = predict(&b.build().unwrap(), MemSharing::Shared, 2);
+        assert_eq!(p.divergent_branches, 1);
+        assert!(p.merge_frac_lower < 1.0, "post-divergence code is tainted");
+        assert!(
+            p.merge_frac_lower > 0.0,
+            "the prologue is guaranteed merged"
+        );
+        assert_eq!(p.merge_frac_upper, 1.0);
+        assert!(
+            p.merge_frac_est >= p.merge_frac_lower && p.merge_frac_est <= p.merge_frac_upper,
+            "estimate inside bounds: {p:?}"
+        );
+        assert!(
+            p.merge_frac_est > p.merge_frac_lower,
+            "ideal reconvergence recovers the post-join code"
+        );
+        assert!(p.expected_split_degree > 1.0, "tid and tainted work split");
+        assert!(p.expected_split_degree <= 2.0 + 1e-12);
+        assert!(p.savings_lower <= p.savings_upper);
+    }
+
+    #[test]
+    fn loop_weighting_dominates_the_fractions() {
+        // A divergent detour inside the loop vs. a long merged prologue:
+        // the loop weight must make the tainted fraction dominate.
+        let mut b = Builder::new();
+        let (top, els, join) = (b.label(), b.label(), b.label());
+        for _ in 0..8 {
+            b.addi(Reg::R2, Reg::R2, 1); // heavy prologue, straight-line
+        }
+        b.tid(Reg::R1);
+        b.addi(Reg::R3, Reg::R0, 4);
+        b.bind(top);
+        b.beq(Reg::R1, Reg::R0, els); // divergent, inside the loop
+        b.addi(Reg::R4, Reg::R4, 1);
+        b.jmp(join);
+        b.bind(els);
+        b.addi(Reg::R4, Reg::R4, 2);
+        b.bind(join);
+        b.addi(Reg::R3, Reg::R3, -1);
+        b.bne(Reg::R3, Reg::R0, top);
+        b.halt();
+        let p = predict(&b.build().unwrap(), MemSharing::Shared, 2);
+        assert!(
+            p.merge_frac_lower < 0.5,
+            "loop-weighted taint outweighs the prologue: {p:?}"
+        );
+        assert!(p.max_loop_depth >= 1);
+    }
+
+    #[test]
+    fn empty_program_degenerates_sanely() {
+        let p = predict(&Program::from_insts(Vec::new()), MemSharing::Shared, 2);
+        assert_eq!(p.reachable_insts, 0);
+        assert_eq!(p.merge_frac_lower, 1.0);
+        assert_eq!(p.merge_frac_upper, 1.0);
+        assert!(p.brackets(1.0));
+    }
+}

@@ -1,0 +1,375 @@
+//! Control-flow structure over a [`Cfg`]: dominator tree, post-dominator
+//! tree, and natural loops.
+//!
+//! The post-dominator tree is the static reconvergence oracle the
+//! divergence analysis needs: after a divergent branch in block `b`, the
+//! immediate post-dominator of `b` is the first block *every* diverged
+//! thread must reach again, whatever direction it took — the earliest
+//! point at which the fetch unit's FHB search can possibly remerge the
+//! threads, and therefore the block whose entry state must forget any
+//! register the divergent region may have written differently per
+//! thread. Post-dominators are computed over the reverse graph rooted at
+//! a virtual exit that collects every block without successors; blocks
+//! that cannot reach any exit (or reconverge only at program end) report
+//! no immediate post-dominator.
+//!
+//! Dominators use the iterative Cooper–Harvey–Kennedy algorithm over a
+//! reverse postorder; natural loops are back edges `u → h` with `h`
+//! dominating `u`, their bodies found by the classic backward walk from
+//! the latch. Loop nesting depth drives the predictor's weighting of
+//! static instructions by expected execution frequency.
+
+use crate::cfg::Cfg;
+
+/// Immediate dominators over an arbitrary successor-list graph, entry
+/// included (the entry and unreachable nodes report `None`). Iterative
+/// Cooper–Harvey–Kennedy over reverse postorder.
+fn idoms(entry: usize, succs: &[Vec<usize>]) -> Vec<Option<usize>> {
+    let n = succs.len();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (u, ss) in succs.iter().enumerate() {
+        for &v in ss {
+            preds[v].push(u);
+        }
+    }
+
+    // Postorder via iterative DFS, then reverse.
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut stack = vec![(entry, 0usize)];
+    visited[entry] = true;
+    while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+        if *next < succs[u].len() {
+            let v = succs[u][*next];
+            *next += 1;
+            if !visited[v] {
+                visited[v] = true;
+                stack.push((v, 0));
+            }
+        } else {
+            order.push(u);
+            stack.pop();
+        }
+    }
+    order.reverse();
+    let mut rpo = vec![usize::MAX; n];
+    for (i, &u) in order.iter().enumerate() {
+        rpo[u] = i;
+    }
+
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[entry] = Some(entry); // sentinel during the fixpoint
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &u in order.iter().skip(1) {
+            let mut new_idom = None;
+            for &p in &preds[u] {
+                if idom[p].is_none() {
+                    continue; // not yet processed (or unreachable)
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(q) => intersect(p, q, &idom, &rpo),
+                });
+            }
+            if new_idom != idom[u] {
+                idom[u] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom[entry] = None;
+    idom
+}
+
+fn intersect(mut a: usize, mut b: usize, idom: &[Option<usize>], rpo: &[usize]) -> usize {
+    while a != b {
+        while rpo[a] > rpo[b] {
+            a = idom[a].expect("processed nodes have a candidate idom");
+        }
+        while rpo[b] > rpo[a] {
+            b = idom[b].expect("processed nodes have a candidate idom");
+        }
+    }
+    a
+}
+
+/// The (forward) dominator tree of a [`Cfg`].
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    idom: Vec<Option<usize>>,
+}
+
+impl DomTree {
+    /// Compute immediate dominators from the CFG's entry block.
+    pub fn dominators(cfg: &Cfg) -> DomTree {
+        if cfg.blocks().is_empty() {
+            return DomTree { idom: Vec::new() };
+        }
+        let succs: Vec<Vec<usize>> = cfg.blocks().iter().map(|b| b.succs.clone()).collect();
+        DomTree {
+            idom: idoms(cfg.entry(), &succs),
+        }
+    }
+
+    /// Immediate dominator of block `b` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: usize) -> Option<usize> {
+        self.idom.get(b).copied().flatten()
+    }
+
+    /// Whether block `a` dominates block `b` (reflexive).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(up) => cur = up,
+                None => return false,
+            }
+        }
+    }
+}
+
+/// The post-dominator tree of a [`Cfg`], rooted at a virtual exit.
+#[derive(Debug, Clone)]
+pub struct PostDomTree {
+    ipdom: Vec<Option<usize>>,
+}
+
+impl PostDomTree {
+    /// Compute immediate post-dominators. Works over the reverse graph
+    /// extended with a virtual exit that every successor-less block
+    /// feeds; see the module docs for the `None` cases.
+    pub fn build(cfg: &Cfg) -> PostDomTree {
+        let nb = cfg.blocks().len();
+        if nb == 0 {
+            return PostDomTree { ipdom: Vec::new() };
+        }
+        let exit = nb; // virtual
+        let mut rsuccs: Vec<Vec<usize>> = vec![Vec::new(); nb + 1];
+        for (b, blk) in cfg.blocks().iter().enumerate() {
+            if blk.succs.is_empty() {
+                rsuccs[exit].push(b); // original edge b → exit, reversed
+            }
+            for &s in &blk.succs {
+                rsuccs[s].push(b); // original edge b → s, reversed
+            }
+        }
+        let idom = idoms(exit, &rsuccs);
+        let ipdom = (0..nb)
+            .map(|b| match idom[b] {
+                Some(p) if p != exit => Some(p),
+                // `Some(exit)`: reconverges only at program end.
+                // `None`: cannot reach any exit at all.
+                _ => None,
+            })
+            .collect();
+        PostDomTree { ipdom }
+    }
+
+    /// Immediate post-dominator of block `b`: the reconvergence block,
+    /// or `None` when control reconverges only at program exit (or
+    /// never, for blocks that cannot reach an exit).
+    pub fn ipdom(&self, b: usize) -> Option<usize> {
+        self.ipdom.get(b).copied().flatten()
+    }
+}
+
+/// One natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every body block).
+    pub header: usize,
+    /// All body blocks, sorted ascending (includes the header).
+    pub body: Vec<usize>,
+    /// Latch blocks: sources of the back edges into the header.
+    pub back_edges: Vec<usize>,
+}
+
+/// All natural loops of a [`Cfg`], plus per-block nesting depth.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    /// The loops, one per distinct header, ordered by header index.
+    pub loops: Vec<NaturalLoop>,
+    depth: Vec<usize>,
+}
+
+impl LoopForest {
+    /// Find every natural loop: back edges are edges `u → h` where `h`
+    /// dominates `u` (both reachable); loops sharing a header are
+    /// merged, as usual.
+    pub fn find(cfg: &Cfg, dom: &DomTree) -> LoopForest {
+        let nb = cfg.blocks().len();
+        let mut latches_by_header: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        for (u, blk) in cfg.blocks().iter().enumerate() {
+            if !cfg.is_reachable(u) {
+                continue;
+            }
+            for &h in &blk.succs {
+                if dom.dominates(h, u) {
+                    latches_by_header[h].push(u);
+                }
+            }
+        }
+
+        let mut loops = Vec::new();
+        let mut depth = vec![0usize; nb];
+        for (h, latches) in latches_by_header.into_iter().enumerate() {
+            if latches.is_empty() {
+                continue;
+            }
+            let mut in_body = vec![false; nb];
+            in_body[h] = true;
+            let mut stack = latches.clone();
+            while let Some(u) = stack.pop() {
+                if !cfg.is_reachable(u) || std::mem::replace(&mut in_body[u], true) {
+                    continue;
+                }
+                stack.extend(cfg.blocks()[u].preds.iter().copied());
+            }
+            let body: Vec<usize> = (0..nb).filter(|&b| in_body[b]).collect();
+            for &b in &body {
+                depth[b] += 1;
+            }
+            loops.push(NaturalLoop {
+                header: h,
+                body,
+                back_edges: latches,
+            });
+        }
+        LoopForest { loops, depth }
+    }
+
+    /// Loop nesting depth of block `b` (0 = not in any loop).
+    pub fn depth(&self, b: usize) -> usize {
+        self.depth.get(b).copied().unwrap_or(0)
+    }
+
+    /// The deepest nesting level in the program.
+    pub fn max_depth(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_isa::asm::Builder;
+    use mmt_isa::Reg;
+
+    fn diamond() -> Cfg {
+        // 0: beq r1,r0,@3 ; 1: addi ; 2: jmp @4 ; 3: addi ; 4: halt
+        let mut b = Builder::new();
+        let (els, join) = (b.label(), b.label());
+        b.beq(Reg::R1, Reg::R0, els);
+        b.addi(Reg::R2, Reg::R0, 1);
+        b.jmp(join);
+        b.bind(els);
+        b.addi(Reg::R2, Reg::R0, 2);
+        b.bind(join);
+        b.halt();
+        Cfg::build(&b.build().unwrap())
+    }
+
+    #[test]
+    fn diamond_dominators_and_postdominators() {
+        let cfg = diamond();
+        let dom = DomTree::dominators(&cfg);
+        let pdom = PostDomTree::build(&cfg);
+        let branch = cfg.block_of(0).unwrap();
+        let then_arm = cfg.block_of(1).unwrap();
+        let else_arm = cfg.block_of(3).unwrap();
+        let join = cfg.block_of(4).unwrap();
+
+        assert_eq!(dom.idom(branch), None, "entry has no idom");
+        assert_eq!(dom.idom(then_arm), Some(branch));
+        assert_eq!(dom.idom(else_arm), Some(branch));
+        assert_eq!(dom.idom(join), Some(branch), "join is reached two ways");
+        assert!(dom.dominates(branch, join));
+        assert!(!dom.dominates(then_arm, join));
+
+        assert_eq!(pdom.ipdom(branch), Some(join), "reconvergence point");
+        assert_eq!(pdom.ipdom(then_arm), Some(join));
+        assert_eq!(pdom.ipdom(else_arm), Some(join));
+        assert_eq!(pdom.ipdom(join), None, "only the program exit remains");
+    }
+
+    #[test]
+    fn countdown_loop_is_detected_with_depth() {
+        let mut b = Builder::new();
+        let (top, out) = (b.label(), b.label());
+        b.li(Reg::R1, 3);
+        b.bind(top);
+        b.addi(Reg::R1, Reg::R1, -1);
+        b.bne(Reg::R1, Reg::R0, top);
+        b.bind(out);
+        b.halt();
+        let cfg = Cfg::build(&b.build().unwrap());
+        let dom = DomTree::dominators(&cfg);
+        let loops = LoopForest::find(&cfg, &dom);
+        assert_eq!(loops.loops.len(), 1);
+        let l = &loops.loops[0];
+        let body_blk = cfg.block_of(1).unwrap();
+        assert_eq!(l.header, body_blk);
+        assert_eq!(l.back_edges, vec![body_blk], "self-loop latch");
+        assert_eq!(loops.depth(body_blk), 1);
+        assert_eq!(loops.depth(cfg.block_of(0).unwrap()), 0);
+        assert_eq!(loops.max_depth(), 1);
+    }
+
+    #[test]
+    fn nested_loops_nest_depths() {
+        let mut b = Builder::new();
+        let (outer, inner, out) = (b.label(), b.label(), b.label());
+        b.li(Reg::R1, 2); // 0
+        b.bind(outer);
+        b.li(Reg::R2, 2); // 1: outer header
+        b.bind(inner);
+        b.addi(Reg::R2, Reg::R2, -1); // 2: inner header
+        b.bne(Reg::R2, Reg::R0, inner); // 3
+        b.addi(Reg::R1, Reg::R1, -1); // 4
+        b.bne(Reg::R1, Reg::R0, outer); // 5
+        b.bind(out);
+        b.halt(); // 6
+        let cfg = Cfg::build(&b.build().unwrap());
+        let dom = DomTree::dominators(&cfg);
+        let loops = LoopForest::find(&cfg, &dom);
+        assert_eq!(loops.loops.len(), 2);
+        assert_eq!(loops.max_depth(), 2);
+        let inner_blk = cfg.block_of(2).unwrap();
+        let outer_hdr = cfg.block_of(1).unwrap();
+        assert_eq!(loops.depth(inner_blk), 2, "inner body in both loops");
+        assert_eq!(loops.depth(outer_hdr), 1);
+        assert_eq!(loops.depth(cfg.block_of(6).unwrap()), 0);
+    }
+
+    #[test]
+    fn infinite_loop_has_no_postdominator() {
+        let mut b = Builder::new();
+        let top = b.label();
+        b.bind(top);
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.jmp(top);
+        let cfg = Cfg::build(&b.build().unwrap());
+        let pdom = PostDomTree::build(&cfg);
+        for (i, _) in cfg.blocks().iter().enumerate() {
+            assert_eq!(pdom.ipdom(i), None, "block {i} never reaches an exit");
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let cfg = Cfg::build(&mmt_isa::Program::from_insts(Vec::new()));
+        let dom = DomTree::dominators(&cfg);
+        assert_eq!(dom.idom(0), None);
+        let pdom = PostDomTree::build(&cfg);
+        assert_eq!(pdom.ipdom(0), None);
+        let loops = LoopForest::find(&cfg, &dom);
+        assert!(loops.loops.is_empty());
+        assert_eq!(loops.max_depth(), 0);
+    }
+}

@@ -17,17 +17,56 @@
 //! | `--scale N`   | `16`   | iteration divisor for app instances |
 //! | `--asm PATH`  | —      | lint an assembly file instead of a suite app |
 //! | `--sharing S` | `mt`   | with `--asm`: `mt` (shared memory) or `me` (per process) |
+//! | `--format F`  | `text` | `text` (human-readable) or `json` (one object, machine-readable) |
 //!
-//! Exit status is non-zero when any program has error-severity findings,
-//! so the tool works as a CI gate over the generator.
+//! Exit status: `0` — no error-severity findings (warnings allowed);
+//! `1` — at least one program has an error-severity finding; `2` —
+//! usage error (unknown app/flag value, unreadable/unparseable `--asm`
+//! file). The 0-vs-1 split is what makes the tool usable as a CI gate
+//! over the workload generator, in either output format.
 
-use mmt_analysis::{lint_program, Oracle};
+use mmt_analysis::{lint_program, Lint, Oracle};
 use mmt_bench::arg_value;
 use mmt_isa::{MemSharing, Program};
 use mmt_workloads::{all_apps, app_by_name, App};
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+#[derive(serde::Serialize)]
+struct LintJson {
+    pc: Option<u64>,
+    kind: String,
+    severity: String,
+    message: String,
+}
+
+#[derive(serde::Serialize)]
+struct ProgramJson {
+    name: String,
+    sharing: String,
+    instructions: usize,
+    must_merge: usize,
+    may_merge: usize,
+    must_split: usize,
+    errors: usize,
+    lints: Vec<LintJson>,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let format = match arg_value(&args, "--format").as_deref() {
+        None | Some("text") => Format::Text,
+        Some("json") => Format::Json,
+        Some(other) => {
+            eprintln!("unknown format '{other}' (text|json)");
+            std::process::exit(2);
+        }
+    };
+    let mut programs: Vec<ProgramJson> = Vec::new();
     let mut failed = false;
 
     if let Some(path) = arg_value(&args, "--asm") {
@@ -47,8 +86,10 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        failed |= report(&path, &program, sharing);
-        std::process::exit(if failed { 1 } else { 0 });
+        let summary = report(&path, &program, sharing, format);
+        failed |= summary.errors > 0;
+        programs.push(summary);
+        finish(format, &programs, failed);
     }
 
     let app_name = arg_value(&args, "--app").unwrap_or_else(|| "all".into());
@@ -77,14 +118,28 @@ fn main() {
 
     for app in &apps {
         let w = app.instance(threads, scale);
-        failed |= report(app.name, &w.program, w.sharing);
+        let summary = report(app.name, &w.program, w.sharing, format);
+        failed |= summary.errors > 0;
+        programs.push(summary);
+    }
+    finish(format, &programs, failed);
+}
+
+/// Emit the JSON document (when selected) and exit with the documented
+/// status: 1 when any program had error-severity findings, else 0.
+fn finish(format: Format, programs: &[ProgramJson], failed: bool) -> ! {
+    if format == Format::Json {
+        println!(
+            "{}",
+            serde_json::to_string(&programs).expect("stub serializer is infallible")
+        );
     }
     std::process::exit(if failed { 1 } else { 0 });
 }
 
-/// Print one program's findings and static summary; returns whether any
-/// finding was an error.
-fn report(name: &str, program: &Program, sharing: MemSharing) -> bool {
+/// Lint and classify one program; in text mode, print the findings as we
+/// go. Returns the machine-readable summary either way.
+fn report(name: &str, program: &Program, sharing: MemSharing, format: Format) -> ProgramJson {
     let lints = lint_program(program);
     let oracle = Oracle::new(program, sharing);
     let (must_merge, may_merge, must_split) = oracle.static_counts();
@@ -92,19 +147,39 @@ fn report(name: &str, program: &Program, sharing: MemSharing) -> bool {
         MemSharing::Shared => "mt",
         MemSharing::PerThread => "me",
     };
-    println!(
-        "{name} [{sharing_label}]: {} instructions — static classes: \
-         {must_merge} must-merge / {may_merge} may-merge / {must_split} must-split",
-        program.len()
-    );
-    for lint in &lints {
-        println!("  {lint}");
-    }
     let errors = lints.iter().filter(|l| l.is_error()).count();
-    if lints.is_empty() {
-        println!("  clean");
-    } else {
-        println!("  {} finding(s), {errors} error(s)", lints.len());
+    if format == Format::Text {
+        println!(
+            "{name} [{sharing_label}]: {} instructions — static classes: \
+             {must_merge} must-merge / {may_merge} may-merge / {must_split} must-split",
+            program.len()
+        );
+        for lint in &lints {
+            println!("  {lint}");
+        }
+        if lints.is_empty() {
+            println!("  clean");
+        } else {
+            println!("  {} finding(s), {errors} error(s)", lints.len());
+        }
     }
-    errors > 0
+    ProgramJson {
+        name: name.to_string(),
+        sharing: sharing_label.to_string(),
+        instructions: program.len(),
+        must_merge,
+        may_merge,
+        must_split,
+        errors,
+        lints: lints.iter().map(lint_json).collect(),
+    }
+}
+
+fn lint_json(l: &Lint) -> LintJson {
+    LintJson {
+        pc: l.pc,
+        kind: format!("{:?}", l.kind),
+        severity: l.severity.to_string(),
+        message: l.message.clone(),
+    }
 }

@@ -1,0 +1,273 @@
+//! `mmtpredict` — differential validation of the static savings
+//! predictor against the simulator's per-PC dynamic profile.
+//!
+//! For every selected workload and thread count the tool runs the static
+//! stack (`mmt_analysis::predict` + the redundancy [`Oracle`]) and one
+//! dynamic simulation with `record_merge_log` and `record_pc_profile`
+//! enabled, then compares the two sides per static PC:
+//!
+//! * **Soundness** (gating, exit 1): a merge-log replay failure
+//!   ([`Oracle::check`]), any merged dispatch at a must-split PC, any
+//!   dynamic activity at a statically unreachable PC, or a measured
+//!   merge-mode fetch fraction outside the predictor's guaranteed
+//!   `[lower, upper]` bracket. Any of these means the static analysis
+//!   or the pipeline is wrong.
+//! * **Coverage** (reported, not gating): must-merge PCs the pipeline
+//!   failed to merge — split dispatches of guaranteed-mergeable work, or
+//!   must-merge PCs never fetched in MERGE mode. These are missed
+//!   performance, not bugs; they show up in the summary as perf lints.
+//!
+//! ```text
+//! mmtpredict --all-workloads
+//! mmtpredict --app swaptions --threads 2,4 --scale 16
+//! ```
+//!
+//! | flag | default | meaning |
+//! |---|---|---|
+//! | `--all-workloads` | —     | shorthand for `--app all` |
+//! | `--app NAME`      | `all` | suite app name, or `all` |
+//! | `--threads LIST`  | `2,4` | comma-separated thread counts |
+//! | `--scale N`       | `16`  | iteration divisor for app instances |
+//! | `--jobs N`        | cores | parallel simulations |
+//!
+//! Output is a GitHub-flavoured markdown table (suitable for a CI job
+//! summary) and `results/BENCH_predict.json`. Exit status: 0 clean,
+//! 1 soundness/bracket violations, 2 usage errors.
+
+use mmt_analysis::{predict, MergeClass, Oracle, Prediction};
+use mmt_bench::sweep::{jobs_arg, run_parallel, write_report};
+use mmt_bench::{arg_value, to_run_spec};
+use mmt_sim::{MmtLevel, SimConfig, Simulator};
+use mmt_workloads::{all_apps, app_by_name, App};
+
+#[derive(Debug, Clone, serde::Serialize)]
+struct PredictRow {
+    app: String,
+    threads: usize,
+    reachable_insts: usize,
+    must_merge: usize,
+    may_merge: usize,
+    must_split: usize,
+    divergent_branches: usize,
+    functions: usize,
+    loops: usize,
+    merge_frac_lower: f64,
+    merge_frac_est: f64,
+    merge_frac_upper: f64,
+    merge_frac_measured: f64,
+    bracket_ok: bool,
+    expected_split_degree: f64,
+    savings_lower: f64,
+    savings_upper: f64,
+    merge_events: usize,
+    soundness_violations: Vec<String>,
+    coverage_gap_split_pcs: usize,
+    coverage_gap_unmerged_pcs: usize,
+}
+
+#[derive(Debug, Clone, serde::Serialize)]
+struct PredictReport {
+    scale: u64,
+    rows: Vec<PredictRow>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app_name = if args.iter().any(|a| a == "--all-workloads") {
+        "all".to_string()
+    } else {
+        arg_value(&args, "--app").unwrap_or_else(|| "all".into())
+    };
+    let threads_list: Vec<usize> = arg_value(&args, "--threads")
+        .unwrap_or_else(|| "2,4".into())
+        .split(',')
+        .map(|s| {
+            s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("--threads takes a comma-separated list like 2,4");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let scale: u64 = arg_value(&args, "--scale")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--scale takes a number");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(16);
+    let jobs = jobs_arg(&args);
+
+    let apps: Vec<App> = if app_name == "all" {
+        all_apps()
+    } else {
+        vec![app_by_name(&app_name).unwrap_or_else(|| {
+            eprintln!(
+                "unknown app '{app_name}'; known: {}",
+                all_apps()
+                    .iter()
+                    .map(|a| a.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2);
+        })]
+    };
+
+    let cases: Vec<(App, usize)> = apps
+        .iter()
+        .flat_map(|a| threads_list.iter().map(move |&t| (a.clone(), t)))
+        .collect();
+    let rows = run_parallel(&cases, jobs, |(app, threads)| {
+        validate_case(app, *threads, scale)
+    });
+
+    println!("## mmtpredict — static prediction vs. dynamic profile (scale {scale})\n");
+    println!(
+        "| app | t | classes (must/may/split) | div br | merge frac lower/est/upper | measured | \
+         split deg | gaps (split/unmerged) | soundness |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
+    let mut violations = 0usize;
+    let mut gap_pcs = 0usize;
+    for r in &rows {
+        violations += r.soundness_violations.len();
+        gap_pcs += r.coverage_gap_split_pcs + r.coverage_gap_unmerged_pcs;
+        println!(
+            "| {} | {} | {}/{}/{} | {} | {:.3}/{:.3}/{:.3} | {:.3} | {:.2} | {}/{} | {} |",
+            r.app,
+            r.threads,
+            r.must_merge,
+            r.may_merge,
+            r.must_split,
+            r.divergent_branches,
+            r.merge_frac_lower,
+            r.merge_frac_est,
+            r.merge_frac_upper,
+            r.merge_frac_measured,
+            r.expected_split_degree,
+            r.coverage_gap_split_pcs,
+            r.coverage_gap_unmerged_pcs,
+            if r.soundness_violations.is_empty() && r.bracket_ok {
+                "ok".to_string()
+            } else {
+                format!("FAIL ({})", r.soundness_violations.len())
+            },
+        );
+    }
+    println!();
+    for r in &rows {
+        for v in &r.soundness_violations {
+            eprintln!("SOUNDNESS {} t={}: {v}", r.app, r.threads);
+        }
+    }
+    if gap_pcs > 0 {
+        println!(
+            "perf lint: {gap_pcs} must-merge PC(s) the pipeline failed to merge \
+             (missed redundancy, not a correctness issue)"
+        );
+    }
+
+    let report = PredictReport { scale, rows };
+    match write_report("predict", &report) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write report: {e}");
+            std::process::exit(2);
+        }
+    }
+    if violations > 0 || report.rows.iter().any(|r| !r.bracket_ok) {
+        eprintln!("mmtpredict: {violations} soundness violation(s)");
+        std::process::exit(1);
+    }
+    println!("mmtpredict: all checks passed");
+}
+
+/// Static-vs-dynamic comparison for one (app, threads) case.
+fn validate_case(app: &App, threads: usize, scale: u64) -> PredictRow {
+    let w = app.instance(threads, scale);
+    let program = w.program.clone();
+    let sharing = w.sharing;
+    let oracle = Oracle::new(&program, sharing);
+    let pred: Prediction = predict(&program, sharing, threads);
+
+    let mut cfg = SimConfig::paper_with(threads, MmtLevel::Fxr);
+    cfg.record_merge_log = true;
+    cfg.record_pc_profile = true;
+    let result = Simulator::new(cfg, to_run_spec(w))
+        .expect("valid config and spec")
+        .run()
+        .expect("workloads terminate");
+
+    let mut violations = Vec::new();
+    match oracle.check(&result.merge_log) {
+        Ok(_) => {}
+        Err(e) => violations.push(format!("merge-log replay: {e}")),
+    }
+
+    let mut gap_split = 0usize;
+    let mut gap_unmerged = 0usize;
+    for (pc, c) in result.stats.pc_profile.iter().enumerate() {
+        if !c.touched() {
+            continue;
+        }
+        match oracle.class_of(pc as u64) {
+            None => violations.push(format!(
+                "dynamic activity at statically unreachable pc {pc} \
+                 ({} fetched, {} dispatched)",
+                c.fetch_total(),
+                c.exec_total()
+            )),
+            Some(MergeClass::MustSplit) if c.exec_merged > 0 => violations.push(format!(
+                "{} merged dispatch(es) at must-split pc {pc}",
+                c.exec_merged
+            )),
+            Some(MergeClass::MustMerge) => {
+                // Coverage, not soundness: the pipeline is allowed to
+                // split guaranteed-mergeable work (RST conservatism,
+                // port-limited register merging) — it just loses the
+                // redundancy the paper is after.
+                if c.exec_split > 0 {
+                    gap_split += 1;
+                } else if c.exec_merged == 0 && c.exec_total() > 0 {
+                    gap_unmerged += 1;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+
+    let measured = result.stats.fetch_modes.fractions().0;
+    let bracket_ok = pred.brackets(measured);
+    if !bracket_ok {
+        violations.push(format!(
+            "measured merge fetch fraction {measured:.4} outside guaranteed bounds \
+             [{:.4}, {:.4}]",
+            pred.merge_frac_lower, pred.merge_frac_upper
+        ));
+    }
+
+    PredictRow {
+        app: app.name.to_string(),
+        threads,
+        reachable_insts: pred.reachable_insts,
+        must_merge: pred.must_merge,
+        may_merge: pred.may_merge,
+        must_split: pred.must_split,
+        divergent_branches: pred.divergent_branches,
+        functions: pred.functions,
+        loops: pred.loops,
+        merge_frac_lower: pred.merge_frac_lower,
+        merge_frac_est: pred.merge_frac_est,
+        merge_frac_upper: pred.merge_frac_upper,
+        merge_frac_measured: measured,
+        bracket_ok,
+        expected_split_degree: pred.expected_split_degree,
+        savings_lower: pred.savings_lower,
+        savings_upper: pred.savings_upper,
+        merge_events: result.merge_log.len(),
+        soundness_violations: violations,
+        coverage_gap_split_pcs: gap_split,
+        coverage_gap_unmerged_pcs: gap_unmerged,
+    }
+}

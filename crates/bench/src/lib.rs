@@ -18,6 +18,8 @@
 //! | `fig7_sensitivity` | Figures 7(a)–(d) (`--sweep fhb|ports|width`) |
 //! | `ablations` | design-choice studies beyond the paper (`--study sync|align|lvip|fetchstyle|prefetch|barrier|fetchpolicy`) |
 //! | `mmtsim` | general-purpose CLI driver (any app/config, JSON output, `--asm` files) |
+//! | `mmtlint` | static linter + merge classification over suite apps (`--format json`) |
+//! | `mmtpredict` | static savings predictor vs. per-PC dynamic profile (differential gate) |
 //! | `diag_app` | one-line per-level diagnostic for model/workload tuning |
 
 #![warn(missing_docs)]

@@ -177,6 +177,12 @@ pub struct SimConfig {
     /// oracle — not a panic — is the observer. Off by default: the log
     /// grows with dynamic merged-instruction count.
     pub record_merge_log: bool,
+    /// Record per-static-PC fetch-mode occupancy and merged/split/private
+    /// dispatch counts in [`crate::SimStats::pc_profile`], for
+    /// differential comparison against the static predictor
+    /// (`mmtpredict`). Off by default: costs a program-sized allocation
+    /// plus a counter bump per fetched slot and dispatched uop.
+    pub record_pc_profile: bool,
 }
 
 impl SimConfig {
@@ -215,6 +221,7 @@ impl SimConfig {
             hint_wait_limit: 400,
             max_cycles: 500_000_000,
             record_merge_log: false,
+            record_pc_profile: false,
         }
     }
 

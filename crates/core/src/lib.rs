@@ -62,4 +62,4 @@ pub use config::{FetchStyle, MmtLevel, SimConfig};
 pub use itid::Itid;
 pub use lvip::Lvip;
 pub use pipeline::{RunSpec, SimError, SimResult, Simulator};
-pub use stats::{EnergyEvents, FetchModeCounts, IdentityCounts, SimStats};
+pub use stats::{EnergyEvents, FetchModeCounts, IdentityCounts, PcCounters, SimStats};

@@ -417,6 +417,11 @@ impl Simulator {
 
         let stats = SimStats {
             retired_per_thread: vec![0; n],
+            pc_profile: if cfg.record_pc_profile {
+                vec![crate::stats::PcCounters::default(); spec.program.len()]
+            } else {
+                Vec::new()
+            },
             ..SimStats::default()
         };
 
@@ -1130,6 +1135,17 @@ impl Simulator {
                         self.stats.identity.fetch_identical += 1;
                     }
                 }
+                // Per-PC dispatch profile (one bump per uop, not per
+                // thread — exec counters are in dispatched uops).
+                if let Some(c) = self.stats.pc_profile.get_mut(mo.pc as usize) {
+                    if !mo.itid.is_merged() {
+                        c.exec_private += 1;
+                    } else if part.itid.is_merged() {
+                        c.exec_merged += 1;
+                    } else {
+                        c.exec_split += 1;
+                    }
+                }
             }
 
             // Create and rename the uops.
@@ -1591,6 +1607,9 @@ impl Simulator {
                 } else {
                     self.stats.fetch_modes.record(mode);
                     detect_mask |= 1 << t;
+                }
+                if let Some(c) = self.stats.pc_profile.get_mut(pc as usize) {
+                    c.record_fetch(mode, members.is_merged());
                 }
             }
 

@@ -78,6 +78,63 @@ impl IdentityCounts {
     }
 }
 
+/// Per-static-PC dynamic behaviour counters, recorded only when
+/// [`crate::SimConfig::record_pc_profile`] is set. Fetch counters are in
+/// thread-instruction slots (a merged fetch of 3 threads adds 3 to
+/// `fetch_merge`); execution counters are in dispatched uops (a merged
+/// dispatch adds 1 to `exec_merged` however many threads it covers).
+/// The static predictor compares these against its per-PC merge
+/// classification in `mmtpredict`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PcCounters {
+    /// Thread-instruction slots fetched at this PC while merged.
+    pub fetch_merge: u64,
+    /// Thread-instruction slots fetched at this PC in DETECT mode.
+    pub fetch_detect: u64,
+    /// Thread-instruction slots fetched at this PC in CATCHUP mode.
+    pub fetch_catchup: u64,
+    /// Uops dispatched at this PC covering two or more threads.
+    pub exec_merged: u64,
+    /// Uops dispatched at this PC for a single thread after its fetch
+    /// group split at dispatch (fetched merged, executed apart).
+    pub exec_split: u64,
+    /// Uops dispatched at this PC for a thread fetched alone.
+    pub exec_private: u64,
+}
+
+impl PcCounters {
+    /// Record one thread-instruction slot fetched in `mode` (`merged`
+    /// forces the MERGE bucket: a member of a merged group is in MERGE
+    /// occupancy regardless of its own FSM mode).
+    pub fn record_fetch(&mut self, mode: SyncMode, merged: bool) {
+        if merged {
+            self.fetch_merge += 1;
+        } else {
+            match mode {
+                SyncMode::Merge => self.fetch_merge += 1,
+                SyncMode::Detect => self.fetch_detect += 1,
+                SyncMode::Catchup { .. } => self.fetch_catchup += 1,
+            }
+        }
+    }
+
+    /// Total thread-instruction slots fetched at this PC.
+    pub fn fetch_total(&self) -> u64 {
+        self.fetch_merge + self.fetch_detect + self.fetch_catchup
+    }
+
+    /// Total uops dispatched at this PC.
+    pub fn exec_total(&self) -> u64 {
+        self.exec_merged + self.exec_split + self.exec_private
+    }
+
+    /// Whether any dynamic activity touched this PC.
+    pub fn touched(&self) -> bool {
+        self.fetch_total() > 0 || self.exec_total() > 0
+    }
+}
+
 /// Event counters consumed by the energy model (`mmt-energy`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -172,6 +229,10 @@ pub struct SimStats {
     pub l2: CacheStats,
     /// Energy event counters.
     pub energy: EnergyEvents,
+    /// Per-static-PC fetch/execution profile, indexed by PC. Empty
+    /// unless [`crate::SimConfig::record_pc_profile`] is set (it costs a
+    /// program-sized allocation plus a counter bump per slot).
+    pub pc_profile: Vec<PcCounters>,
 }
 
 impl SimStats {
@@ -256,6 +317,19 @@ mod tests {
     fn ipc_handles_zero_cycles() {
         let s = SimStats::default();
         assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn pc_counters_bucket_by_mode_and_merge() {
+        let mut c = PcCounters::default();
+        c.record_fetch(SyncMode::Detect, true); // merged overrides mode
+        c.record_fetch(SyncMode::Detect, false);
+        c.record_fetch(SyncMode::Catchup { ahead: 2 }, false);
+        assert_eq!((c.fetch_merge, c.fetch_detect, c.fetch_catchup), (1, 1, 1));
+        assert_eq!(c.fetch_total(), 3);
+        assert!(c.touched());
+        assert_eq!(c.exec_total(), 0);
+        assert!(!PcCounters::default().touched());
     }
 
     #[test]

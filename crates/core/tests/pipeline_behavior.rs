@@ -613,3 +613,43 @@ fn runaway_pc_faults_cleanly() {
         .unwrap_err();
     assert!(matches!(e, SimError::Exec(_)), "{e}");
 }
+
+#[test]
+fn pc_profile_is_off_by_default_and_consistent_when_on() {
+    let program = divergent_program();
+    let memories = vec![mt_memory(&[3, 5])];
+
+    // Off by default: no allocation, no counters.
+    let off = run(
+        program.clone(),
+        MemSharing::Shared,
+        memories.clone(),
+        2,
+        MmtLevel::Fxr,
+    );
+    assert!(off.stats.pc_profile.is_empty());
+
+    // On: one slot per static instruction, and the per-PC counters must
+    // re-aggregate to the whole-run totals they shadow.
+    let mut cfg = SimConfig::paper_with(2, MmtLevel::Fxr);
+    cfg.record_pc_profile = true;
+    let spec = RunSpec {
+        program: program.clone(),
+        sharing: MemSharing::Shared,
+        memories,
+        threads: 2,
+    };
+    let on = Simulator::new(cfg, spec).unwrap().run().unwrap();
+    assert_eq!(on.stats.pc_profile.len(), program.len());
+    assert_eq!(on.final_regs, off.final_regs, "profiling is invisible");
+
+    let sum =
+        |f: fn(&mmt_sim::PcCounters) -> u64| -> u64 { on.stats.pc_profile.iter().map(f).sum() };
+    assert_eq!(sum(|c| c.fetch_merge), on.stats.fetch_modes.merge);
+    assert_eq!(sum(|c| c.fetch_detect), on.stats.fetch_modes.detect);
+    assert_eq!(sum(|c| c.fetch_catchup), on.stats.fetch_modes.catchup);
+    assert_eq!(sum(|c| c.exec_total()), on.stats.uops_dispatched);
+    assert!(sum(|c| c.exec_merged) > 0, "MT kernel must merge some work");
+    // The tid instruction at PC 0 can never dispatch merged.
+    assert_eq!(on.stats.pc_profile[0].exec_merged, 0);
+}

@@ -418,6 +418,28 @@ impl Inst {
             Inst::Jmp { .. } | Inst::Jal { .. } | Inst::Jr { .. } | Inst::Halt
         )
     }
+
+    /// Whether this is a call (`jal`) — the only producer of code
+    /// addresses in this ISA, and therefore the anchor of every call
+    /// graph edge.
+    pub fn is_call(&self) -> bool {
+        matches!(*self, Inst::Jal { .. })
+    }
+
+    /// The callee entry PC when this is a call (`jal`).
+    pub fn call_target(&self) -> Option<u64> {
+        match *self {
+            Inst::Jal { target, .. } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Whether this is an indirect (register) jump — `jr`, the ISA's
+    /// return instruction. Its target is dynamic; a call graph resolves
+    /// it to the return sites of the enclosing function's callers.
+    pub fn is_indirect_jump(&self) -> bool {
+        matches!(*self, Inst::Jr { .. })
+    }
 }
 
 impl fmt::Display for Inst {
@@ -584,5 +606,26 @@ mod tests {
             target: 12,
         };
         assert_eq!(b.to_string(), "bne r1, r0, @12");
+    }
+
+    #[test]
+    fn call_and_return_helpers() {
+        let call = Inst::Jal {
+            rd: Reg::Ra,
+            target: 7,
+        };
+        assert!(call.is_call());
+        assert_eq!(call.call_target(), Some(7));
+        assert!(!call.is_indirect_jump());
+
+        let ret = Inst::Jr { rs: Reg::Ra };
+        assert!(ret.is_indirect_jump());
+        assert!(!ret.is_call());
+        assert_eq!(ret.call_target(), None);
+
+        let jmp = Inst::Jmp { target: 3 };
+        assert!(!jmp.is_call());
+        assert_eq!(jmp.call_target(), None);
+        assert!(!jmp.is_indirect_jump());
     }
 }

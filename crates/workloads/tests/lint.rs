@@ -138,3 +138,44 @@ fn linter_constants_match_workload_layout() {
         layout::SHARED_BASE as u64
     );
 }
+
+#[test]
+fn every_suite_app_has_a_well_formed_prediction() {
+    for app in all_apps() {
+        for threads in [2usize, 4] {
+            let w = app.instance(threads, 16);
+            let p = mmt_analysis::predict(&w.program, w.sharing, threads);
+            let ctx = format!("{} ({threads} threads)", app.name);
+            assert!(p.reachable_insts > 0, "{ctx}: empty reachable set");
+            assert!(
+                0.0 <= p.merge_frac_lower
+                    && p.merge_frac_lower <= p.merge_frac_est
+                    && p.merge_frac_est <= p.merge_frac_upper
+                    && p.merge_frac_upper <= 1.0,
+                "{ctx}: bounds out of order: {p:?}"
+            );
+            assert!(
+                0.0 <= p.savings_lower && p.savings_lower <= p.savings_upper,
+                "{ctx}: savings bounds out of order: {p:?}"
+            );
+            assert!(
+                p.savings_upper <= (threads as f64 - 1.0) / threads as f64 + 1e-12,
+                "{ctx}: cannot save more than (t-1)/t of the work: {p:?}"
+            );
+            assert!(
+                (1.0 - 1e-12..=threads as f64 + 1e-12).contains(&p.expected_split_degree),
+                "{ctx}: split degree outside [1, t]: {p:?}"
+            );
+            assert_eq!(
+                p.unresolved_jumps, 0,
+                "{ctx}: generator programs are call-disciplined"
+            );
+            if app.spec.calls {
+                assert!(
+                    p.functions >= 2,
+                    "{ctx}: call-wrapped kernel should split into functions: {p:?}"
+                );
+            }
+        }
+    }
+}
