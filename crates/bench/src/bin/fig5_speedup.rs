@@ -9,12 +9,18 @@
 //! core); the printed figure data is byte-identical at any pool size, and
 //! per-run telemetry lands in `results/BENCH_fig5_speedup.json`.
 //!
+//! With `--trace-dir DIR`, each app's MMT-FXR run additionally records a
+//! pipeline trace and drops `<app>-fxr.{trace.json,events.jsonl,windows.jsonl}`
+//! under DIR (tracing is timing-invisible, so the figure is unchanged).
+//!
 //! Paper headline: geometric-mean MMT-FXR speedups of ~1.15 (2 threads)
 //! and ~1.25 (4 threads); Limit strictly above FXR, with the largest
 //! FXR-to-Limit gaps for libsvm, twolf, vortex and vpr.
 
-use mmt_bench::sweep::{jobs_arg, run_parallel, timed_run, BenchReport, RunTelemetry};
-use mmt_bench::{arg_value, geomean, run_app, run_limit, speedup, FULL_SCALE};
+use mmt_bench::sweep::{
+    jobs_arg, run_parallel, timed_run, trace_dir_arg, write_trace_files, BenchReport, RunTelemetry,
+};
+use mmt_bench::{arg_value, geomean, run_app, run_app_with, run_limit, speedup, FULL_SCALE};
 use mmt_sim::MmtLevel;
 use mmt_workloads::all_apps;
 use std::time::Instant;
@@ -28,6 +34,7 @@ fn main() {
         .map(|v| v.parse().expect("--scale takes a number"))
         .unwrap_or(FULL_SCALE);
     let jobs = jobs_arg(&args);
+    let trace_dir = trace_dir_arg(&args);
 
     println!(
         "Figure 5({}): speedup over Base SMT, {threads} threads",
@@ -52,7 +59,24 @@ fn main() {
         let base = run_level(MmtLevel::Base, "base");
         let f = speedup(&base, &run_level(MmtLevel::F, "f"));
         let fx = speedup(&base, &run_level(MmtLevel::Fx, "fx"));
-        let fxr = speedup(&base, &run_level(MmtLevel::Fxr, "fxr"));
+        let fxr = if let Some(dir) = &trace_dir {
+            let (r, t) = timed_run(format!("{}/fxr", app.name), || {
+                run_app_with(app, threads, MmtLevel::Fxr, scale, |cfg| {
+                    cfg.trace = Some(mmt_sim::TraceConfig {
+                        ring_capacity: 1 << 20,
+                        window: 4096,
+                    });
+                })
+            });
+            tel.push(t);
+            let trace = r.trace.as_ref().expect("tracing was enabled");
+            if let Err(e) = write_trace_files(dir, &format!("{}/fxr", app.name), trace) {
+                eprintln!("warning: trace for {} not written: {e}", app.name);
+            }
+            speedup(&base, &r)
+        } else {
+            speedup(&base, &run_level(MmtLevel::Fxr, "fxr"))
+        };
         // Limit runs different (identical-input) work; normalize against
         // a Base run of that same workload.
         let (limit_base, t) = timed_run(format!("{}/limit-base", app.name), || {

@@ -22,7 +22,8 @@
 //! | `--width N`       | `8`         | fetch width |
 //! | `--fetch-style S` | `trace`     | `trace` or `conventional` |
 //! | `--sync S`        | `fhb`       | `fhb` or `hints` |
-//! | `--json`          | off         | print stats as JSON |
+//! | `--format F`      | `text`      | `text` (human-readable) or `json` (one object per app) |
+//! | `--json`          | off         | alias for `--format json` |
 //! | `--asm PATH`      | —           | simulate an assembly file instead of a suite app |
 //! | `--sharing S`     | `mt`        | with `--asm`: `mt` (shared memory) or `me` (per process) |
 
@@ -46,7 +47,16 @@ fn main() {
     let scale: u64 = arg_value(&args, "--scale")
         .map(|v| v.parse().expect("--scale takes a number"))
         .unwrap_or(FULL_SCALE);
-    let json = args.iter().any(|a| a == "--json");
+    let json = match arg_value(&args, "--format").as_deref() {
+        Some("json") => true,
+        Some("text") => false,
+        Some(other) => {
+            eprintln!("unknown format '{other}' (text|json)");
+            std::process::exit(2);
+        }
+        // `--json` predates `--format` and stays as an alias.
+        None => args.iter().any(|a| a == "--json"),
+    };
 
     let apps: Vec<App> = if app_name == "all" {
         all_apps()

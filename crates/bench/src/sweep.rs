@@ -12,8 +12,8 @@
 //! footprint) and writes a machine-readable `results/BENCH_<figure>.json`
 //! per sweep so the perf trajectory is tracked PR-over-PR.
 
-use mmt_sim::{SimResult, SimStats};
-use std::path::PathBuf;
+use mmt_sim::{SimResult, SimStats, Trace};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -173,6 +173,31 @@ impl BenchReport {
     pub fn write(&self) -> std::io::Result<PathBuf> {
         write_report(&self.figure, self)
     }
+}
+
+/// Parse `--trace-dir DIR`: when present, a sweep enables pipeline
+/// tracing on its runs and dumps per-run trace artifacts there.
+pub fn trace_dir_arg(args: &[String]) -> Option<PathBuf> {
+    crate::arg_value(args, "--trace-dir").map(PathBuf::from)
+}
+
+/// Write the three artifacts for one traced run under `dir`:
+/// `<label>.trace.json` (Chrome trace events, Perfetto-loadable),
+/// `<label>.events.jsonl`, and `<label>.windows.jsonl`. Slashes in the
+/// label become dashes so sweep labels like `equake/fxr` stay one file.
+pub fn write_trace_files(dir: &Path, label: &str, trace: &Trace) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let stem = label.replace('/', "-");
+    std::fs::write(dir.join(format!("{stem}.trace.json")), trace.chrome_json())?;
+    std::fs::write(
+        dir.join(format!("{stem}.events.jsonl")),
+        trace.events_jsonl(),
+    )?;
+    std::fs::write(
+        dir.join(format!("{stem}.windows.jsonl")),
+        trace.windows_jsonl(),
+    )?;
+    Ok(dir.join(format!("{stem}.trace.json")))
 }
 
 /// Serialize any report to `results/BENCH_<name>.json` (shared by the

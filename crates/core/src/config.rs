@@ -183,6 +183,13 @@ pub struct SimConfig {
     /// (`mmtpredict`). Off by default: costs a program-sized allocation
     /// plus a counter bump per fetched slot and dispatched uop.
     pub record_pc_profile: bool,
+    /// Cycle-level pipeline tracing (`mmt-obs`): `Some` allocates an
+    /// event ring and windowed-metrics recorder up front and populates
+    /// [`crate::SimResult::trace`]. `None` (the default) compiles the
+    /// emission sites down to a branch on an always-`None` option, so the
+    /// steady-state loop stays allocation-free and the simulated behavior
+    /// is bit-identical either way.
+    pub trace: Option<mmt_obs::TraceConfig>,
 }
 
 impl SimConfig {
@@ -222,6 +229,7 @@ impl SimConfig {
             max_cycles: 500_000_000,
             record_merge_log: false,
             record_pc_profile: false,
+            trace: None,
         }
     }
 

@@ -61,5 +61,6 @@ pub use audit::MergeEvent;
 pub use config::{FetchStyle, MmtLevel, SimConfig};
 pub use itid::Itid;
 pub use lvip::Lvip;
+pub use mmt_obs::{Trace, TraceConfig};
 pub use pipeline::{RunSpec, SimError, SimResult, Simulator};
 pub use stats::{EnergyEvents, FetchModeCounts, IdentityCounts, PcCounters, SimStats};

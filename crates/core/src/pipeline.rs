@@ -38,6 +38,9 @@ use mmt_frontend::{Btb, FetchSync, Ras, SyncMode, TwoLevelPredictor};
 use mmt_isa::interp::{Machine, Memory, StepInfo};
 use mmt_isa::reg::NUM_REGS;
 use mmt_isa::{Inst, MemSharing, OpClass, Program, MAX_THREADS};
+use mmt_obs::{
+    FetchKind, LvipOutcome, ModeTag, ModeTrigger, Occupancy, SplitCause, SplitKind, TraceEvent,
+};
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
@@ -125,6 +128,10 @@ pub struct SimResult {
     /// set (empty otherwise). Consumed by the `mmt-analysis` differential
     /// oracle.
     pub merge_log: Vec<crate::audit::MergeEvent>,
+    /// The pipeline trace, when [`SimConfig::trace`] was set (`None`
+    /// otherwise): typed event stream, windowed metrics series, and the
+    /// metadata the `mmt-obs` exporters need.
+    pub trace: Option<mmt_obs::Trace>,
 }
 
 type UopId = usize;
@@ -168,6 +175,9 @@ struct Uop {
     seq: u64,
     /// False once the slot has been reclaimed (awaiting reuse).
     live: bool,
+    /// Static PC of the fetched macro-op (timing-inert; carried for
+    /// issue/commit trace events).
+    pc: u64,
     itid: Itid,
     inst: Inst,
     class: OpClass,
@@ -199,6 +209,7 @@ impl Uop {
         Uop {
             seq: 0,
             live: false,
+            pc: 0,
             itid: Itid::single(0),
             inst: Inst::Halt,
             class: OpClass::IntAlu,
@@ -351,6 +362,9 @@ pub struct Simulator {
     dbg_dispatch_hist: [u64; 9],
     stats: SimStats,
     merge_log: Vec<crate::audit::MergeEvent>,
+    /// Tracing recorder ([`SimConfig::trace`]); `None` compiles every
+    /// emission site down to one pointer test.
+    obs: Option<Box<mmt_obs::ObsRecorder>>,
 
     // Hot-path caches: per-cycle scratch buffers and debug-env flags
     // looked up once at construction instead of every cycle/branch.
@@ -454,6 +468,13 @@ impl Simulator {
             dbg_stall_other: 0,
             dbg_dispatch_hist: [0; 9],
             merge_log: Vec::new(),
+            obs: cfg.trace.as_ref().map(|tc| {
+                Box::new(mmt_obs::ObsRecorder::new(
+                    tc,
+                    n,
+                    n >= 2 && cfg.level.shared_fetch(),
+                ))
+            }),
             scratch: Scratch {
                 issued_ids: Vec::with_capacity(cfg.issue_width),
                 created: Vec::with_capacity(cfg.rename_width),
@@ -563,6 +584,19 @@ impl Simulator {
                     );
                 }
             }
+            if let Some(obs) = self.obs.as_deref_mut() {
+                if obs.window_due(self.now) {
+                    obs.sample_window(
+                        self.now,
+                        Occupancy {
+                            rob: self.rob_live as u32,
+                            lsq: self.lsq_live as u32,
+                            iq: self.iq.len() as u32,
+                            arena: self.uops.len() as u32,
+                        },
+                    );
+                }
+            }
             self.now += 1;
         }
         #[cfg(feature = "check-invariants")]
@@ -620,11 +654,23 @@ impl Simulator {
         self.stats.energy.l2_accesses = self.stats.l2.accesses;
         self.stats.energy.dram_accesses = self.stats.l2.misses;
 
+        let trace = self.obs.take().map(|o| {
+            o.into_trace(
+                self.now,
+                Occupancy {
+                    rob: self.rob_live as u32,
+                    lsq: self.lsq_live as u32,
+                    iq: self.iq.len() as u32,
+                    arena: self.uops.len() as u32,
+                },
+            )
+        });
         let final_regs = self.threads.iter().map(|t| *t.machine.regs()).collect();
         SimResult {
             stats: self.stats,
             final_regs,
             merge_log: self.merge_log,
+            trace,
         }
     }
 
@@ -734,6 +780,77 @@ impl Simulator {
     }
 
     // ----------------------------------------------------------------
+    // Tracing (mmt-obs). With SimConfig::trace unset, every site below
+    // reduces to a branch on an always-None option.
+    // ----------------------------------------------------------------
+
+    /// Record one trace event at the current cycle (no-op when tracing
+    /// is off).
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.emit(self.now, event);
+        }
+    }
+
+    /// Merge `a`'s and `b`'s groups and re-snapshot pair progress,
+    /// emitting the implied mode transitions and a remerge event first.
+    /// Wraps every [`FetchSync::merge`] call site so the trace cannot
+    /// drift from the sync state machine.
+    fn merge_groups(&mut self, a: usize, b: usize, trigger: ModeTrigger) {
+        if self.obs.is_some() {
+            let union = self.sync.group_mask(a) | self.sync.group_mask(b);
+            for t in 0..self.threads.len() {
+                if union & (1 << t) != 0 && self.sync.mode(t) != SyncMode::Merge {
+                    self.emit(TraceEvent::ModeTransition {
+                        thread: t as u8,
+                        to: ModeTag::Merge,
+                        trigger,
+                    });
+                }
+            }
+            self.emit(TraceEvent::Remerge { mask: union });
+        }
+        let union = self.sync.merge(a, b);
+        self.snapshot_pairs(union);
+    }
+
+    /// Emit the mode transitions a fetch halt of `t` implies, inspecting
+    /// the sync state *before* [`FetchSync::force_detect`] rewires it: the
+    /// halting thread drops to DETECT, a sole surviving partner drops out
+    /// of MERGE, and catch-ups chasing `t` are abandoned.
+    fn emit_halt_transitions(&mut self, t: usize) {
+        if self.obs.is_none() {
+            return;
+        }
+        if self.sync.mode(t) != SyncMode::Detect {
+            self.emit(TraceEvent::ModeTransition {
+                thread: t as u8,
+                to: ModeTag::Detect,
+                trigger: ModeTrigger::Halt,
+            });
+        }
+        let group = self.sync.group_mask(t);
+        if group.count_ones() == 2 {
+            let survivor = (group & !(1 << t)).trailing_zeros() as usize;
+            self.emit(TraceEvent::ModeTransition {
+                thread: survivor as u8,
+                to: ModeTag::Detect,
+                trigger: ModeTrigger::PartnerHalt,
+            });
+        }
+        for u in 0..self.threads.len() {
+            if self.sync.mode(u) == (SyncMode::Catchup { ahead: t }) {
+                self.emit(TraceEvent::ModeTransition {
+                    thread: u as u8,
+                    to: ModeTag::Detect,
+                    trigger: ModeTrigger::CatchupAbort,
+                });
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
     // Commit
     // ----------------------------------------------------------------
 
@@ -765,12 +882,16 @@ impl Simulator {
     }
 
     fn commit_uop(&mut self, id: UopId, merge_checks: &mut usize) {
-        let (itid, inst, detect_mask, fetched_merged) = {
+        let (itid, inst, detect_mask, fetched_merged, pc) = {
             let u = &self.uops[id];
-            (u.itid, u.inst, u.detect_mask, u.fetched_merged)
+            (u.itid, u.inst, u.detect_mask, u.fetched_merged, u.pc)
         };
         let dest = inst.dest().filter(|r| !r.is_zero());
         self.stats.energy.commits += 1;
+        self.emit(TraceEvent::Commit {
+            pc,
+            mask: itid.mask(),
+        });
         if dest.is_some() {
             self.stats.energy.regfile_writes += 1;
         }
@@ -833,6 +954,11 @@ impl Simulator {
                         self.stats.energy.regfile_reads += 1;
                         if self.threads[u].commit_regs[rd.index()] == result {
                             self.rst.set_merged(rd, t, u);
+                            self.emit(TraceEvent::RstSet {
+                                reg: rd.index() as u8,
+                                a: t as u8,
+                                b: u as u8,
+                            });
                         } else {
                             self.dbg_merge_fail_compare += 1;
                         }
@@ -943,6 +1069,14 @@ impl Simulator {
                 let u = &mut self.uops[id];
                 u.issued = true;
                 u.complete_at = Some(complete_at);
+            }
+            if self.obs.is_some() {
+                let (pc, mask) = (self.uops[id].pc, self.uops[id].itid.mask());
+                self.emit(TraceEvent::Issue {
+                    pc,
+                    mask,
+                    complete_at,
+                });
             }
             self.stats.energy.executions += 1;
             self.stats.energy.regfile_reads += self.uops[id].inst.sources().len() as u64;
@@ -1109,6 +1243,57 @@ impl Simulator {
             self.stats.uops_dispatched += parts as u64;
             self.stats.energy.renames += parts as u64;
 
+            if self.obs.is_some() {
+                let kind = if parts == 1 {
+                    if outcome.parts[0].itid.is_merged() {
+                        SplitKind::Merged
+                    } else {
+                        SplitKind::Private
+                    }
+                } else if outcome.parts.iter().all(|p| !p.itid.is_merged()) {
+                    SplitKind::Private
+                } else {
+                    SplitKind::Partial
+                };
+                let cause = if !mo.itid.is_merged() {
+                    SplitCause::FetchedAlone
+                } else if !self.cfg.level.shared_execute() {
+                    SplitCause::NoSharedExecute
+                } else if lvip_rollback {
+                    SplitCause::LvipRollback
+                } else if parts == 1 {
+                    if outcome.regmerge_assisted {
+                        SplitCause::RegMergeAssisted
+                    } else {
+                        SplitCause::RstShared
+                    }
+                } else {
+                    SplitCause::RstSplit
+                };
+                self.emit(TraceEvent::Split {
+                    pc: mo.pc,
+                    mask: mo.itid.mask(),
+                    kind,
+                    cause,
+                });
+                if lvip_rollback {
+                    self.emit(TraceEvent::Lvip {
+                        pc: mo.pc,
+                        mask: mo.itid.mask(),
+                        outcome: LvipOutcome::Rollback,
+                    });
+                }
+                for part in &outcome.parts {
+                    if part.lvip_speculative {
+                        self.emit(TraceEvent::Lvip {
+                            pc: mo.pc,
+                            mask: part.itid.mask(),
+                            outcome: LvipOutcome::Match,
+                        });
+                    }
+                }
+            }
+
             // RST destination update (Section 4.2.3).
             if self.cfg.level.shared_execute() {
                 if let Some(rd) = mo.inst.dest() {
@@ -1117,6 +1302,12 @@ impl Simulator {
                         itids[i] = part.itid;
                     }
                     self.rst.update_dest(rd, mo.itid, &itids[..parts]);
+                    if parts >= 2 {
+                        self.emit(TraceEvent::RstClear {
+                            reg: rd.index() as u8,
+                            mask: mo.itid.mask(),
+                        });
+                    }
                 }
             }
 
@@ -1242,6 +1433,7 @@ impl Simulator {
                 self.uops[id] = Uop {
                     seq,
                     live: true,
+                    pc: mo.pc,
                     itid: part.itid,
                     inst: mo.inst,
                     class: mo.inst.class(),
@@ -1288,6 +1480,11 @@ impl Simulator {
                 }
                 push_counted(&mut self.iq, id, &mut self.stats.scratch_growth_events);
                 push_counted(&mut created, id, &mut self.stats.scratch_growth_events);
+                self.emit(TraceEvent::Dispatch {
+                    pc: mo.pc,
+                    mask: part.itid.mask(),
+                    merged: part.itid.is_merged(),
+                });
             }
 
             // Resolve fetch blocks that were waiting for this
@@ -1355,6 +1552,11 @@ impl Simulator {
                 if let SyncMode::Catchup { ahead } = self.sync.mode(t) {
                     if self.pair_progress_delta(t, ahead) > CATCHUP_OVERSHOOT_SLACK as i64 {
                         self.sync.cancel_catchup(t);
+                        self.emit(TraceEvent::ModeTransition {
+                            thread: t as u8,
+                            to: ModeTag::Detect,
+                            trigger: ModeTrigger::WrongDirection,
+                        });
                     }
                 }
             }
@@ -1409,9 +1611,7 @@ impl Simulator {
                                 self.threads[t].branches_since_diverge = 0;
                             }
                         }
-                        self.sync.merge(a, b);
-                        let union = self.sync.group_mask(a);
-                        self.snapshot_pairs(union);
+                        self.merge_groups(a, b, ModeTrigger::PcMatch);
                     }
                 }
             }
@@ -1612,6 +1812,31 @@ impl Simulator {
                     c.record_fetch(mode, members.is_merged());
                 }
             }
+            if self.obs.is_some() {
+                // Same classification as the fetch_modes loop above (a
+                // non-merged entity is a singleton, so its lead's mode is
+                // the one recorded) — the replay consistency test holds
+                // by construction.
+                let kind = if members.is_merged() {
+                    FetchKind::Merged
+                } else {
+                    let mode = if self.cfg.level.shared_fetch() {
+                        self.sync.mode(lead)
+                    } else {
+                        SyncMode::Detect
+                    };
+                    match mode {
+                        SyncMode::Merge => FetchKind::Merged,
+                        SyncMode::Detect => FetchKind::Detect,
+                        SyncMode::Catchup { .. } => FetchKind::Catchup,
+                    }
+                };
+                self.emit(TraceEvent::Fetch {
+                    pc,
+                    mask: members.mask(),
+                    kind,
+                });
+            }
 
             // Functionally execute for every member (the oracle step).
             let mut infos = [None; MAX_THREADS];
@@ -1658,9 +1883,7 @@ impl Simulator {
                         if self.dbg_sync {
                             eprintln!("cyc {} MERGE t{lead}+t{ahead}", self.now);
                         }
-                        self.sync.merge(lead, ahead);
-                        let union = self.sync.group_mask(lead);
-                        self.snapshot_pairs(union);
+                        self.merge_groups(lead, ahead, ModeTrigger::CatchupComplete);
                         break;
                     }
                 }
@@ -1687,6 +1910,7 @@ impl Simulator {
                 for t in members.threads() {
                     self.threads[t].halted_fetch = true;
                     if self.cfg.level.shared_fetch() {
+                        self.emit_halt_transitions(t);
                         self.sync.force_detect(t);
                     }
                 }
@@ -1859,23 +2083,43 @@ impl Simulator {
         // would let it sprint away while the truly-behind thread is
         // throttled; cancel such wrong-direction catch-ups using the
         // per-thread retirement counters.
-        if let mmt_frontend::SyncEvent::CatchupEntered { behind, ahead } = event {
-            if self.dbg_sync {
-                eprintln!(
-                    "cyc {} CATCHUP t{behind} -> t{ahead} (delta {}) groups {:?}",
-                    self.now,
-                    self.pair_progress_delta(behind, ahead),
-                    (0..self.threads.len())
-                        .map(|t| self.sync.group_mask(t))
-                        .collect::<Vec<_>>()
-                );
+        match event {
+            mmt_frontend::SyncEvent::CatchupEntered { behind, ahead } => {
+                if self.dbg_sync {
+                    eprintln!(
+                        "cyc {} CATCHUP t{behind} -> t{ahead} (delta {}) groups {:?}",
+                        self.now,
+                        self.pair_progress_delta(behind, ahead),
+                        (0..self.threads.len())
+                            .map(|t| self.sync.group_mask(t))
+                            .collect::<Vec<_>>()
+                    );
+                }
+                self.emit(TraceEvent::ModeTransition {
+                    thread: behind as u8,
+                    to: ModeTag::Catchup,
+                    trigger: ModeTrigger::FhbHit,
+                });
+                if self.pair_progress_delta(behind, ahead) + CATCHUP_ENTRY_SLACK as i64 > 0 {
+                    // Not convincingly behind: in a loop both threads'
+                    // targets sit in both FHBs, so the hit alone cannot
+                    // pick the direction; progress-since-last-sync can.
+                    self.sync.cancel_catchup(behind);
+                    self.emit(TraceEvent::ModeTransition {
+                        thread: behind as u8,
+                        to: ModeTag::Detect,
+                        trigger: ModeTrigger::WrongDirection,
+                    });
+                }
             }
-            if self.pair_progress_delta(behind, ahead) + CATCHUP_ENTRY_SLACK as i64 > 0 {
-                // Not convincingly behind: in a loop both threads'
-                // targets sit in both FHBs, so the hit alone cannot pick
-                // the direction; progress-since-last-sync can.
-                self.sync.cancel_catchup(behind);
+            mmt_frontend::SyncEvent::CatchupAborted { thread } => {
+                self.emit(TraceEvent::ModeTransition {
+                    thread: thread as u8,
+                    to: ModeTag::Detect,
+                    trigger: ModeTrigger::CatchupAbort,
+                });
             }
+            mmt_frontend::SyncEvent::None => {}
         }
     }
 
@@ -1948,6 +2192,24 @@ impl Simulator {
                 masks[i] = m;
             }
             self.sync.diverge(&masks[..n_parts]);
+            if self.obs.is_some() {
+                self.emit(TraceEvent::Divergence {
+                    pc,
+                    mask: members.mask(),
+                    parts: n_parts as u8,
+                });
+                // Threads split off alone leave MERGE; multi-thread parts
+                // remain merged sub-groups and keep their mode.
+                for &(_, m) in parts {
+                    if m.count_ones() == 1 {
+                        self.emit(TraceEvent::ModeTransition {
+                            thread: m.trailing_zeros() as u8,
+                            to: ModeTag::Detect,
+                            trigger: ModeTrigger::Divergence,
+                        });
+                    }
+                }
+            }
         }
         let mut blocked_mask = 0u8;
         self.snapshot_pairs(members.mask());

@@ -251,8 +251,9 @@ impl FetchSync {
 
     /// Merge thread `a`'s group with thread `b`'s group (their PCs are
     /// equal). Clears every member's FHB and cancels CATCHUPs that
-    /// targeted the merged members from inside the new group.
-    pub fn merge(&mut self, a: usize, b: usize) {
+    /// targeted the merged members from inside the new group. Returns the
+    /// union mask of the new group.
+    pub fn merge(&mut self, a: usize, b: usize) -> u8 {
         let mask = self.groups[a] | self.groups[b];
         self.merges += 1;
         for t in 0..self.n {
@@ -264,6 +265,7 @@ impl FetchSync {
         }
         // Any thread catching up to a member keeps its CATCHUP; the
         // member's PC is still meaningful (it is the group PC now).
+        mask
     }
 
     /// Cancel an in-progress CATCHUP (the fetch engine detected it is

@@ -1,0 +1,322 @@
+//! The typed pipeline event taxonomy.
+//!
+//! Every event is a small `Copy` payload; the emitting pipeline stamps it
+//! with the cycle into a [`TraceRecord`]. Masks are ITID thread masks
+//! (bit `t` set means hardware thread `t` participates), PCs are static
+//! program counters (instruction indices), and all enums are closed sets
+//! so exporters can map them to stable names.
+
+/// How a macro-op was fetched (collapses the per-thread
+/// MERGE/DETECT/CATCHUP modes onto the fetch entity: merged entities are
+/// in MERGE by definition, singleton entities carry their own mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchKind {
+    /// Fetched by a merged group (mask has two or more bits).
+    Merged,
+    /// Fetched by a lone thread hunting for a remerge point.
+    Detect,
+    /// Fetched by a lone thread catching up to an ahead thread.
+    Catchup,
+}
+
+impl FetchKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FetchKind::Merged => "merged",
+            FetchKind::Detect => "detect",
+            FetchKind::Catchup => "catchup",
+        }
+    }
+}
+
+/// What the splitter decided for one fetched macro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitKind {
+    /// One merged uop covering the whole fetch group.
+    Merged,
+    /// At least one multi-thread part, but the group was split.
+    Partial,
+    /// Every part is a single thread.
+    Private,
+}
+
+impl SplitKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SplitKind::Merged => "merged",
+            SplitKind::Partial => "partial",
+            SplitKind::Private => "private",
+        }
+    }
+}
+
+/// Why the splitter reached its decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitCause {
+    /// The macro-op was fetched by a lone thread — nothing to merge.
+    FetchedAlone,
+    /// The MMT level has no shared execution; merged fetches always
+    /// split into per-thread copies (MMT-F).
+    NoSharedExecute,
+    /// The Register Sharing Table proved the sources identical.
+    RstShared,
+    /// As [`SplitCause::RstShared`], but at least one source's sharing
+    /// bit was set by the commit-time register-merging hardware.
+    RegMergeAssisted,
+    /// The RST reported divergent sources; the group was split.
+    RstSplit,
+    /// An LVIP-speculated merged load failed verification and was split
+    /// into per-thread copies (rollback charged).
+    LvipRollback,
+}
+
+impl SplitCause {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SplitCause::FetchedAlone => "fetched-alone",
+            SplitCause::NoSharedExecute => "no-shared-execute",
+            SplitCause::RstShared => "rst-shared",
+            SplitCause::RegMergeAssisted => "reg-merge-assisted",
+            SplitCause::RstSplit => "rst-split",
+            SplitCause::LvipRollback => "lvip-rollback",
+        }
+    }
+}
+
+/// A thread's fetch-synchronization mode, as carried by transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeTag {
+    /// Fetching as part of a merged group.
+    Merge,
+    /// Fetching independently, hunting for a remerge point.
+    Detect,
+    /// Boosted fetch, catching up to an ahead thread.
+    Catchup,
+}
+
+impl ModeTag {
+    /// Stable display name (used by exporters as track/span names).
+    pub fn name(self) -> &'static str {
+        match self {
+            ModeTag::Merge => "MERGE",
+            ModeTag::Detect => "DETECT",
+            ModeTag::Catchup => "CATCHUP",
+        }
+    }
+}
+
+/// What caused a [`TraceEvent::ModeTransition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeTrigger {
+    /// A merged group's members resolved a control transfer differently.
+    Divergence,
+    /// A taken-branch target hit another thread's Fetch History Buffer.
+    FhbHit,
+    /// A catching-up thread reached the ahead thread's PC and merged.
+    CatchupComplete,
+    /// The FHB hit was a false positive (or the chase ran too long).
+    CatchupAbort,
+    /// Progress counters proved the catch-up ran the wrong way.
+    WrongDirection,
+    /// Two independent threads met at the same PC and merged.
+    PcMatch,
+    /// The thread fetched its `halt`.
+    Halt,
+    /// A merge-group partner halted, demoting the survivor.
+    PartnerHalt,
+}
+
+impl ModeTrigger {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModeTrigger::Divergence => "divergence",
+            ModeTrigger::FhbHit => "fhb-hit",
+            ModeTrigger::CatchupComplete => "catchup-complete",
+            ModeTrigger::CatchupAbort => "catchup-abort",
+            ModeTrigger::WrongDirection => "wrong-direction",
+            ModeTrigger::PcMatch => "pc-match",
+            ModeTrigger::Halt => "halt",
+            ModeTrigger::PartnerHalt => "partner-halt",
+        }
+    }
+}
+
+/// Outcome of verifying an LVIP-speculated merged load at dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LvipOutcome {
+    /// All member threads loaded the same value; the merge stood.
+    Match,
+    /// Values differed: the load was split and a rollback charged.
+    Rollback,
+}
+
+impl LvipOutcome {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LvipOutcome::Match => "match",
+            LvipOutcome::Rollback => "rollback",
+        }
+    }
+}
+
+/// One typed pipeline event. See the module docs for conventions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A macro-op entered the pipeline (one event per fetch, however
+    /// many threads the entity covers — the mask says which).
+    Fetch {
+        /// Static PC fetched.
+        pc: u64,
+        /// ITID mask of the fetch entity.
+        mask: u8,
+        /// Fetch-mode classification of the entity.
+        kind: FetchKind,
+    },
+    /// The splitter's verdict for one macro-op at dispatch.
+    Split {
+        /// Static PC.
+        pc: u64,
+        /// ITID mask the macro-op was fetched with.
+        mask: u8,
+        /// Shape of the split.
+        kind: SplitKind,
+        /// Why.
+        cause: SplitCause,
+    },
+    /// One uop entered rename/dispatch.
+    Dispatch {
+        /// Static PC.
+        pc: u64,
+        /// ITID mask of this uop (post-split).
+        mask: u8,
+        /// Whether the uop covers two or more threads.
+        merged: bool,
+    },
+    /// One uop was selected by the issue stage (execution in this model
+    /// begins at issue; `complete_at` is when its result is ready).
+    Issue {
+        /// Static PC.
+        pc: u64,
+        /// ITID mask.
+        mask: u8,
+        /// Cycle the uop's execution completes.
+        complete_at: u64,
+    },
+    /// One uop retired (every owning thread committed it).
+    Commit {
+        /// Static PC.
+        pc: u64,
+        /// ITID mask.
+        mask: u8,
+    },
+    /// A thread's fetch-synchronization mode changed.
+    ModeTransition {
+        /// Hardware thread.
+        thread: u8,
+        /// The mode entered.
+        to: ModeTag,
+        /// What drove the transition.
+        trigger: ModeTrigger,
+    },
+    /// A merged group's members resolved a control transfer differently
+    /// and the group split.
+    Divergence {
+        /// PC of the diverging control transfer.
+        pc: u64,
+        /// Mask of the group that split.
+        mask: u8,
+        /// Number of distinct next-PC parts.
+        parts: u8,
+    },
+    /// Two fetch entities merged (PCs met).
+    Remerge {
+        /// Mask of the new merged group.
+        mask: u8,
+    },
+    /// Commit-time register merging proved a register pair identical and
+    /// set the sharing bit.
+    RstSet {
+        /// Architected register index.
+        reg: u8,
+        /// Committing thread.
+        a: u8,
+        /// The thread whose copy compared equal.
+        b: u8,
+    },
+    /// A merged group split at dispatch, clearing the destination
+    /// register's sharing across the group.
+    RstClear {
+        /// Architected register index.
+        reg: u8,
+        /// Mask of the group whose sharing was narrowed.
+        mask: u8,
+    },
+    /// LVIP verification of a speculated merged load.
+    Lvip {
+        /// Static PC of the load.
+        pc: u64,
+        /// ITID mask the speculation covered.
+        mask: u8,
+        /// Whether the values matched.
+        outcome: LvipOutcome,
+    },
+}
+
+impl TraceEvent {
+    /// Stable short name for exporters (JSONL `k` field, Chrome names).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Fetch { .. } => "fetch",
+            TraceEvent::Split { .. } => "split",
+            TraceEvent::Dispatch { .. } => "dispatch",
+            TraceEvent::Issue { .. } => "issue",
+            TraceEvent::Commit { .. } => "commit",
+            TraceEvent::ModeTransition { .. } => "mode",
+            TraceEvent::Divergence { .. } => "divergence",
+            TraceEvent::Remerge { .. } => "remerge",
+            TraceEvent::RstSet { .. } => "rst-set",
+            TraceEvent::RstClear { .. } => "rst-clear",
+            TraceEvent::Lvip { .. } => "lvip",
+        }
+    }
+}
+
+/// One ring entry: an event stamped with its cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Cycle the event occurred.
+    pub cycle: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ModeTag::Merge.name(), "MERGE");
+        assert_eq!(ModeTrigger::FhbHit.name(), "fhb-hit");
+        let ev = TraceEvent::Fetch {
+            pc: 0,
+            mask: 0b11,
+            kind: FetchKind::Merged,
+        };
+        assert_eq!(ev.name(), "fetch");
+        assert_eq!(
+            TraceEvent::ModeTransition {
+                thread: 1,
+                to: ModeTag::Detect,
+                trigger: ModeTrigger::Divergence
+            }
+            .name(),
+            "mode"
+        );
+    }
+}

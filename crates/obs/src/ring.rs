@@ -1,0 +1,141 @@
+//! Fixed-capacity, allocation-free event ring.
+//!
+//! The buffer is allocated once at construction; pushes never reallocate.
+//! When full, the oldest record is overwritten and counted in
+//! [`EventRing::dropped`], so a bounded ring can trace an unbounded run
+//! and still report exactly how much history it lost.
+
+use crate::event::TraceRecord;
+
+/// Ring buffer of [`TraceRecord`]s with drop accounting.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<TraceRecord>,
+    cap: usize,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Allocate a ring holding up to `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> EventRing {
+        assert!(capacity > 0, "event ring needs a non-zero capacity");
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            cap: capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no records have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Records overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Append a record, overwriting the oldest once full. Never
+    /// allocates after construction.
+    #[inline]
+    pub fn push(&mut self, rec: TraceRecord) {
+        if self.buf.len() < self.cap {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head += 1;
+            if self.head == self.cap {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+
+    /// Iterate oldest → newest.
+    pub fn ordered(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// Consume the ring, returning `(records oldest → newest, dropped)`.
+    pub fn into_ordered(mut self) -> (Vec<TraceRecord>, u64) {
+        self.buf.rotate_left(self.head);
+        (self.buf, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn rec(cycle: u64) -> TraceRecord {
+        TraceRecord {
+            cycle,
+            event: TraceEvent::Remerge { mask: 0b11 },
+        }
+    }
+
+    #[test]
+    fn fills_without_wrapping() {
+        let mut r = EventRing::with_capacity(4);
+        assert!(r.is_empty());
+        for c in 0..3 {
+            r.push(rec(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        let cycles: Vec<u64> = r.ordered().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wraps_and_counts_drops() {
+        let mut r = EventRing::with_capacity(4);
+        for c in 0..10 {
+            r.push(rec(c));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let cycles: Vec<u64> = r.ordered().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9], "oldest records evicted first");
+        let (v, dropped) = r.into_ordered();
+        assert_eq!(dropped, 6);
+        assert_eq!(v.iter().map(|e| e.cycle).collect::<Vec<_>>(), [6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn push_never_reallocates() {
+        let mut r = EventRing::with_capacity(8);
+        let base = r.buf.capacity();
+        for c in 0..100 {
+            r.push(rec(c));
+        }
+        assert_eq!(r.buf.capacity(), base, "ring must not grow");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = EventRing::with_capacity(0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Text timeline summary: top divergence sites ranked by cycles spent
+//! diverged, and a power-of-two remerge-latency histogram.
+//!
+//! A "site" is the static PC of the control transfer that split a merged
+//! group. Each member thread opens a diverged interval at the split and
+//! closes it at the remerge that re-absorbs it (or at trace end, counted
+//! as unresolved); the interval's cycles are charged to the opening site,
+//! so hot sites are the ones keeping threads out of MERGE the longest.
+
+use crate::event::{TraceEvent, TraceRecord};
+use mmt_isa::MAX_THREADS;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate for one divergence PC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DivergenceSite {
+    /// Static PC of the diverging control transfer.
+    pub pc: u64,
+    /// Times a group split here.
+    pub divergences: u64,
+    /// Total thread-cycles spent diverged, attributed to this site.
+    pub cycles_diverged: u64,
+}
+
+/// Summary statistics computed from an event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimelineSummary {
+    /// Cycles the trace covers.
+    pub cycles: u64,
+    /// Events summarized.
+    pub events: usize,
+    /// Events lost to ring overflow before summarization.
+    pub dropped: u64,
+    /// Sites sorted by `cycles_diverged`, descending.
+    pub sites: Vec<DivergenceSite>,
+    /// Bucket `i` counts remerges whose per-thread latency fell in
+    /// `[2^i, 2^(i+1))` cycles (bucket 0 covers latency 0 and 1).
+    pub remerge_latency: Vec<u64>,
+    /// Remerge events seen.
+    pub remerges: u64,
+    /// Thread intervals still diverged when the trace ended.
+    pub unresolved: u64,
+}
+
+fn bucket(latency: u64) -> usize {
+    if latency <= 1 {
+        0
+    } else {
+        (63 - latency.leading_zeros()) as usize
+    }
+}
+
+/// Summarize an event stream covering `cycles` cycles (`dropped` records
+/// were lost upstream and are reported, not reconstructed).
+pub fn summarize(events: &[TraceRecord], cycles: u64, dropped: u64) -> TimelineSummary {
+    let mut sites: BTreeMap<u64, DivergenceSite> = BTreeMap::new();
+    // Per-thread open diverged interval: (opening site PC, start cycle).
+    let mut open: [Option<(u64, u64)>; MAX_THREADS] = [None; MAX_THREADS];
+    let mut hist: Vec<u64> = Vec::new();
+    let mut remerges = 0u64;
+
+    let charge = |sites: &mut BTreeMap<u64, DivergenceSite>, pc: u64, dur: u64| {
+        let site = sites.entry(pc).or_insert(DivergenceSite {
+            pc,
+            ..Default::default()
+        });
+        site.cycles_diverged += dur;
+    };
+
+    for rec in events {
+        match rec.event {
+            TraceEvent::Divergence { pc, mask, .. } => {
+                let site = sites.entry(pc).or_insert(DivergenceSite {
+                    pc,
+                    ..Default::default()
+                });
+                site.divergences += 1;
+                for (t, slot) in open.iter_mut().enumerate() {
+                    if mask & (1 << t) == 0 {
+                        continue;
+                    }
+                    // A thread re-diverging before remerging closes its
+                    // prior interval into the prior site.
+                    if let Some((prev_pc, start)) = slot.take() {
+                        charge(&mut sites, prev_pc, rec.cycle.saturating_sub(start));
+                    }
+                    *slot = Some((pc, rec.cycle));
+                }
+            }
+            TraceEvent::Remerge { mask } => {
+                remerges += 1;
+                for (t, slot) in open.iter_mut().enumerate() {
+                    if mask & (1 << t) == 0 {
+                        continue;
+                    }
+                    if let Some((pc, start)) = slot.take() {
+                        let dur = rec.cycle.saturating_sub(start);
+                        charge(&mut sites, pc, dur);
+                        let b = bucket(dur);
+                        if hist.len() <= b {
+                            hist.resize(b + 1, 0);
+                        }
+                        hist[b] += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut unresolved = 0u64;
+    for slot in open.iter().flatten() {
+        let (pc, start) = *slot;
+        charge(&mut sites, pc, cycles.saturating_sub(start));
+        unresolved += 1;
+    }
+
+    let mut sites: Vec<DivergenceSite> = sites.into_values().collect();
+    sites.sort_by(|a, b| {
+        b.cycles_diverged
+            .cmp(&a.cycles_diverged)
+            .then(a.pc.cmp(&b.pc))
+    });
+
+    TimelineSummary {
+        cycles,
+        events: events.len(),
+        dropped,
+        sites,
+        remerge_latency: hist,
+        remerges,
+        unresolved,
+    }
+}
+
+impl fmt::Display for TimelineSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "timeline: {} cycles, {} events ({} dropped)",
+            self.cycles, self.events, self.dropped
+        )?;
+        if self.sites.is_empty() {
+            writeln!(f, "  no divergences recorded")?;
+        } else {
+            writeln!(f, "  top divergence sites (thread-cycles diverged):")?;
+            for site in self.sites.iter().take(10) {
+                writeln!(
+                    f,
+                    "    pc {:>6}  {:>6} splits  {:>10} cycles",
+                    site.pc, site.divergences, site.cycles_diverged
+                )?;
+            }
+        }
+        writeln!(
+            f,
+            "  remerges: {} ({} unresolved at end)",
+            self.remerges, self.unresolved
+        )?;
+        if !self.remerge_latency.is_empty() {
+            writeln!(f, "  remerge latency (cycles per rejoining thread):")?;
+            for (i, count) in self.remerge_latency.iter().enumerate() {
+                if *count == 0 {
+                    continue;
+                }
+                let lo = if i == 0 { 0u128 } else { 1u128 << i };
+                let hi = 1u128 << (i + 1);
+                writeln!(f, "    [{lo:>6}, {hi:>6})  {count:>6}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(cycle: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord { cycle, event }
+    }
+
+    #[test]
+    fn latency_buckets_are_powers_of_two() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 0);
+        assert_eq!(bucket(2), 1);
+        assert_eq!(bucket(3), 1);
+        assert_eq!(bucket(4), 2);
+        assert_eq!(bucket(1023), 9);
+        assert_eq!(bucket(1024), 10);
+    }
+
+    #[test]
+    fn sites_accumulate_and_rank() {
+        let events = vec![
+            rec(
+                10,
+                TraceEvent::Divergence {
+                    pc: 7,
+                    mask: 0b11,
+                    parts: 2,
+                },
+            ),
+            rec(40, TraceEvent::Remerge { mask: 0b11 }),
+            rec(
+                50,
+                TraceEvent::Divergence {
+                    pc: 9,
+                    mask: 0b11,
+                    parts: 2,
+                },
+            ),
+            rec(300, TraceEvent::Remerge { mask: 0b11 }),
+        ];
+        let s = summarize(&events, 400, 0);
+        assert_eq!(s.remerges, 2);
+        assert_eq!(s.unresolved, 0);
+        assert_eq!(s.sites.len(), 2);
+        // pc 9 held its threads 250 cycles each; pc 7 only 30 each.
+        assert_eq!(s.sites[0].pc, 9);
+        assert_eq!(s.sites[0].cycles_diverged, 500);
+        assert_eq!(s.sites[1].cycles_diverged, 60);
+        // Four rejoining threads: two at latency 30, two at 250.
+        assert_eq!(s.remerge_latency.iter().sum::<u64>(), 4);
+        assert_eq!(s.remerge_latency[bucket(30)], 2);
+        assert_eq!(s.remerge_latency[bucket(250)], 2);
+    }
+
+    #[test]
+    fn rediverge_and_unresolved_intervals() {
+        let events = vec![
+            rec(
+                10,
+                TraceEvent::Divergence {
+                    pc: 7,
+                    mask: 0b11,
+                    parts: 2,
+                },
+            ),
+            // Thread 1 diverges again (nested split) before any remerge.
+            rec(
+                30,
+                TraceEvent::Divergence {
+                    pc: 8,
+                    mask: 0b10,
+                    parts: 2,
+                },
+            ),
+            rec(50, TraceEvent::Remerge { mask: 0b01 }),
+        ];
+        let s = summarize(&events, 100, 3);
+        assert_eq!(s.dropped, 3);
+        // Thread 0: site 7 from 10..50 (remerged, 40 cycles).
+        // Thread 1: site 7 from 10..30 (20), then site 8 from 30..100
+        // unresolved (70).
+        assert_eq!(s.unresolved, 1);
+        let site7 = s.sites.iter().find(|x| x.pc == 7).unwrap();
+        let site8 = s.sites.iter().find(|x| x.pc == 8).unwrap();
+        assert_eq!(site7.cycles_diverged, 60);
+        assert_eq!(site8.cycles_diverged, 70);
+        assert_eq!(s.remerge_latency.iter().sum::<u64>(), 1);
+        let text = s.to_string();
+        assert!(text.contains("top divergence sites"));
+        assert!(text.contains("3 dropped"));
+    }
+}
