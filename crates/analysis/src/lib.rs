@@ -17,7 +17,14 @@
 //!    branch targets, falling off the end without `halt`, unreachable
 //!    blocks, reads of never-written registers, stores into the reserved
 //!    low-memory region, unresolvable indirect jumps.
-//! 4. [`oracle`] + [`predict`] — the differential redundancy oracle: a
+//! 4. [`memdep`] — the address-expression abstract interpretation:
+//!    every load/store PC is classified thread-**invariant**,
+//!    **tid-private** (affine in the thread id with disjoint per-thread
+//!    ranges), or **shared/unknown**, and shared-memory programs get a
+//!    static data-race candidate list consumed by the lint layer
+//!    ([`lint_program_with_sharing`]) and validated differentially by
+//!    the `mmtmem` bench binary.
+//! 5. [`oracle`] + [`predict`] — the differential redundancy oracle: a
 //!    static must-merge / may-merge / must-split classification of every
 //!    instruction, and [`Oracle::check`], which replays the simulator's
 //!    merge log (`mmt_sim` with `record_merge_log`) and independently
@@ -58,6 +65,7 @@ pub mod cfg;
 pub mod dataflow;
 pub mod divergence;
 pub mod lint;
+pub mod memdep;
 pub mod oracle;
 pub mod predict;
 pub mod structure;
@@ -66,7 +74,8 @@ pub use callgraph::{CallGraph, Function};
 pub use cfg::{BasicBlock, Cfg};
 pub use dataflow::{Analysis, Invariance, RegFact, RegState};
 pub use divergence::{BranchClass, DivergenceAnalysis, DivergencePoint};
-pub use lint::{has_errors, lint_program, Lint, LintKind, Severity};
+pub use lint::{has_errors, lint_program, lint_program_with_sharing, Lint, LintKind, Severity};
+pub use memdep::{AccessClass, MemAccess, MemDepAnalysis, RacePair};
 pub use oracle::{MergeClass, Oracle, OracleReport};
-pub use predict::{predict, Prediction};
+pub use predict::{predict, predict_lvip, LvipBracket, LvipPrediction, Prediction};
 pub use structure::{DomTree, LoopForest, NaturalLoop, PostDomTree};

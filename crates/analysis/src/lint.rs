@@ -10,6 +10,7 @@
 
 use crate::cfg::Cfg;
 use crate::dataflow::Analysis;
+use crate::memdep::MemDepAnalysis;
 use mmt_isa::reg::NUM_REGS;
 use mmt_isa::{Inst, MemSharing, Program};
 use std::fmt;
@@ -62,6 +63,17 @@ pub enum LintKind {
     /// guessing. Code that is only reachable through such a jump looks
     /// unreachable to every static client.
     UnresolvedIndirectJump,
+    /// Two threads can store to the same shared-memory word with no
+    /// intervening synchronization (the ISA has none): the final value
+    /// depends on thread timing. Only reported by
+    /// [`lint_program_with_sharing`] under [`MemSharing::Shared`].
+    SharedStoreRace,
+    /// A shared-memory store can hit a word another thread reads at a
+    /// different PC (or the same one): the loaded value depends on thread
+    /// timing. This is how the workloads' spin barriers work, so it is a
+    /// warning, not an error. Only reported by
+    /// [`lint_program_with_sharing`] under [`MemSharing::Shared`].
+    CrossThreadReadWrite,
 }
 
 /// One linter finding.
@@ -217,6 +229,56 @@ pub fn lint_program(prog: &Program) -> Vec<Lint> {
     lints
 }
 
+/// [`lint_program`] plus the static data-race lint when `sharing` is
+/// [`MemSharing::Shared`].
+///
+/// The race findings come from [`MemDepAnalysis`]: every store whose
+/// per-thread address range can overlap another thread's access range is
+/// reported — write-write conflicts as [`LintKind::SharedStoreRace`]
+/// errors, write-read conflicts as [`LintKind::CrossThreadReadWrite`]
+/// warnings (the workloads' spin barriers are exactly such a pair, and
+/// they are correct). Under [`MemSharing::PerThread`] memories cannot
+/// race by construction and the result equals [`lint_program`].
+pub fn lint_program_with_sharing(prog: &Program, sharing: MemSharing) -> Vec<Lint> {
+    let mut lints = lint_program(prog);
+    if sharing != MemSharing::Shared {
+        return lints;
+    }
+    let mem = MemDepAnalysis::run(prog, sharing);
+    for race in mem.races() {
+        let div = if race.divergent {
+            " in a divergent region"
+        } else {
+            ""
+        };
+        if race.other_is_store {
+            lints.push(Lint {
+                pc: Some(race.store_pc),
+                kind: LintKind::SharedStoreRace,
+                severity: Severity::Error,
+                message: format!(
+                    "store can collide with another thread's store at pc {}{div}: \
+                     the final value depends on thread timing",
+                    race.other_pc
+                ),
+            });
+        } else {
+            lints.push(Lint {
+                pc: Some(race.store_pc),
+                kind: LintKind::CrossThreadReadWrite,
+                severity: Severity::Warning,
+                message: format!(
+                    "store can hit a word another thread loads at pc {}{div}: \
+                     the loaded value depends on thread timing",
+                    race.other_pc
+                ),
+            });
+        }
+    }
+    lints.sort_by_key(|l| l.pc);
+    lints
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +406,53 @@ mod tests {
         b.jr(Reg::Ra);
         let lints = lint_program(&b.build().unwrap());
         assert!(!kinds(&lints).contains(&LintKind::UnresolvedIndirectJump));
+    }
+
+    #[test]
+    fn shared_store_race_is_an_error() {
+        // Two threads store to the same constant shared word.
+        let mut b = Builder::new();
+        b.li(Reg::R1, RESERVED_WORDS as i64);
+        b.st(Reg::R0, Reg::R1, 0);
+        b.halt();
+        let prog = b.build().unwrap();
+        let lints = lint_program_with_sharing(&prog, MemSharing::Shared);
+        assert!(kinds(&lints).contains(&LintKind::SharedStoreRace));
+        assert!(has_errors(&lints));
+        // Per-thread memories: same program, no race possible.
+        let lints = lint_program_with_sharing(&prog, MemSharing::PerThread);
+        assert_eq!(lints, lint_program(&prog));
+    }
+
+    #[test]
+    fn tid_strided_stores_are_race_clean() {
+        let mut b = Builder::new();
+        b.tid(Reg::R1);
+        b.li(Reg::R2, 4480);
+        b.alu(mmt_isa::AluOp::Mul, Reg::R2, Reg::R1, Reg::R2);
+        b.li(Reg::R3, 262144);
+        b.alu_add(Reg::R3, Reg::R3, Reg::R2);
+        b.st(Reg::R0, Reg::R3, 0);
+        b.halt();
+        let lints = lint_program_with_sharing(&b.build().unwrap(), MemSharing::Shared);
+        assert!(!kinds(&lints).contains(&LintKind::SharedStoreRace));
+        assert!(!kinds(&lints).contains(&LintKind::CrossThreadReadWrite));
+    }
+
+    #[test]
+    fn cross_thread_read_write_is_a_warning() {
+        // Store to my slot, load a fixed slot another thread owns.
+        let mut b = Builder::new();
+        b.tid(Reg::R1);
+        b.li(Reg::R2, 524288);
+        b.alu_add(Reg::R2, Reg::R2, Reg::R1);
+        b.st(Reg::R0, Reg::R2, 0);
+        b.li(Reg::R3, 524289);
+        b.ld(Reg::R4, Reg::R3, 0);
+        b.halt();
+        let lints = lint_program_with_sharing(&b.build().unwrap(), MemSharing::Shared);
+        assert!(kinds(&lints).contains(&LintKind::CrossThreadReadWrite));
+        assert!(!has_errors(&lints));
     }
 
     #[test]

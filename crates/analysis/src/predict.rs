@@ -37,6 +37,7 @@
 use crate::cfg::Cfg;
 use crate::dataflow::Invariance;
 use crate::divergence::DivergenceAnalysis;
+use crate::memdep::{AccessClass, MemDepAnalysis};
 use crate::oracle::{classify, MergeClass};
 use crate::structure::{DomTree, LoopForest, PostDomTree};
 use mmt_isa::{MemSharing, Program};
@@ -250,6 +251,87 @@ impl Prediction {
     }
 }
 
+/// Static per-PC bracket on the LVIP hit rate of one load.
+///
+/// LVIP (lookahead value-identical prediction) is only consulted by the
+/// splitter for *merged* loads under per-thread memories whose base
+/// registers compare equal in the RST — so the structural claim
+/// (`predictable`) is the sharp one: at a non-predictable PC the
+/// predictor is never consulted and the measured lookup count must be
+/// exactly zero. Where it *is* consulted the hit rate is genuinely
+/// data-dependent, so the numeric bracket is the sound `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LvipBracket {
+    /// PC of the load.
+    pub pc: u64,
+    /// The splitter can consult LVIP here: per-thread memories, and the
+    /// address is not statically tid-private. A tid-private address
+    /// strictly differs across threads, so the RST can never show the
+    /// base registers as shared and the LVIP path is unreachable.
+    pub predictable: bool,
+    /// All threads compute the same address ([`AccessClass::Invariant`]).
+    pub addr_invariant: bool,
+    /// Guaranteed lower bound on the measured hit rate.
+    pub hit_lower: f64,
+    /// Guaranteed upper bound on the measured hit rate.
+    pub hit_upper: f64,
+}
+
+impl LvipBracket {
+    /// Whether a measured hit rate falls inside the bracket, with a small
+    /// epsilon for float accumulation.
+    pub fn brackets(&self, measured: f64) -> bool {
+        measured >= self.hit_lower - 1e-9 && measured <= self.hit_upper + 1e-9
+    }
+}
+
+/// Static LVIP prediction for a whole program: one bracket per reachable
+/// load. See [`LvipBracket`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LvipPrediction {
+    /// One bracket per reachable load, ascending PC.
+    pub loads: Vec<LvipBracket>,
+}
+
+impl LvipPrediction {
+    /// The bracket for the load at `pc`, if any.
+    pub fn at(&self, pc: u64) -> Option<&LvipBracket> {
+        self.loads
+            .binary_search_by_key(&pc, |b| b.pc)
+            .ok()
+            .map(|i| &self.loads[i])
+    }
+
+    /// How many loads are LVIP-predictable.
+    pub fn predictable_count(&self) -> usize {
+        self.loads.iter().filter(|b| b.predictable).count()
+    }
+}
+
+/// Run the memory divergence analysis and derive a per-load LVIP
+/// bracket. Under [`MemSharing::Shared`] no load is predictable (the
+/// splitter's LVIP path is gated on per-thread memories), so a dynamic
+/// run must observe zero per-PC LVIP lookups everywhere.
+pub fn predict_lvip(prog: &Program, sharing: MemSharing) -> LvipPrediction {
+    let mem = MemDepAnalysis::run(prog, sharing);
+    let loads = mem
+        .accesses()
+        .iter()
+        .filter(|a| !a.is_store)
+        .map(|a| {
+            let tid_private = matches!(a.class, AccessClass::TidPrivate { .. });
+            LvipBracket {
+                pc: a.pc,
+                predictable: sharing == MemSharing::PerThread && !tid_private,
+                addr_invariant: a.class == AccessClass::Invariant,
+                hit_lower: 0.0,
+                hit_upper: 1.0,
+            }
+        })
+        .collect();
+    LvipPrediction { loads }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +427,38 @@ mod tests {
             "loop-weighted taint outweighs the prologue: {p:?}"
         );
         assert!(p.max_loop_depth >= 1);
+    }
+
+    #[test]
+    fn lvip_brackets_follow_sharing_and_classification() {
+        use mmt_isa::AluOp;
+        let mut b = Builder::new();
+        b.li(Reg::R1, 4096);
+        b.ld(Reg::R2, Reg::R1, 0); // pc 1: invariant address
+        b.tid(Reg::R3);
+        b.li(Reg::R4, 4480);
+        b.alu(AluOp::Mul, Reg::R4, Reg::R3, Reg::R4);
+        b.li(Reg::R5, 65536);
+        b.alu_add(Reg::R5, Reg::R5, Reg::R4);
+        b.ld(Reg::R6, Reg::R5, 0); // pc 7: tid-private address
+        b.halt();
+        let prog = b.build().unwrap();
+
+        let p = predict_lvip(&prog, MemSharing::PerThread);
+        assert_eq!(p.loads.len(), 2);
+        let inv = p.at(1).unwrap();
+        assert!(inv.predictable && inv.addr_invariant);
+        assert!(inv.brackets(1.0) && inv.brackets(0.0) && !inv.brackets(1.5));
+        let private = p.at(7).unwrap();
+        assert!(
+            !private.predictable,
+            "tid-private base regs never compare equal in the RST"
+        );
+        assert_eq!(p.predictable_count(), 1);
+
+        // Shared memories: the splitter's LVIP path is gated off.
+        let p = predict_lvip(&prog, MemSharing::Shared);
+        assert!(p.loads.iter().all(|b| !b.predictable));
     }
 
     #[test]

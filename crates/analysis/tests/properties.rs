@@ -3,7 +3,10 @@
 //! range, and the dataflow/linter must be total (no panics, states for
 //! exactly the reachable PCs) over arbitrary instruction sequences.
 
-use mmt_analysis::{lint_program, Analysis, Cfg};
+use mmt_analysis::{
+    lint_program, lint_program_with_sharing, predict_lvip, AccessClass, Analysis, Cfg, LintKind,
+    MemDepAnalysis,
+};
 use mmt_isa::inst::Inst;
 use mmt_isa::{AluOp, BrCond, FpuOp, MemSharing, Program, Reg};
 use proptest::prelude::*;
@@ -158,6 +161,89 @@ proptest! {
             if let Some(pc) = lint.pc {
                 prop_assert!(pc < prog.len() as u64, "{lint}");
             }
+        }
+    }
+
+    /// The memory analysis is total: every reachable load/store gets a
+    /// classification, `access_at` agrees with `accesses`, and race
+    /// endpoints are always store PCs paired with real access PCs.
+    #[test]
+    fn memdep_is_total_and_internally_consistent(
+        insts in prop::collection::vec(arb_inst(32), 1..32)
+    ) {
+        let prog = Program::from_insts(insts);
+        for sharing in [MemSharing::Shared, MemSharing::PerThread] {
+            let mem = MemDepAnalysis::run(&prog, sharing);
+            let (i, p, s) = mem.class_counts();
+            prop_assert_eq!(i + p + s, mem.accesses().len());
+            for a in mem.accesses() {
+                prop_assert!(a.pc < prog.len() as u64);
+                prop_assert_eq!(mem.access_at(a.pc).map(|x| x.pc), Some(a.pc));
+                if let Some((lo, hi)) = a.thread_range(0) {
+                    prop_assert!(lo <= hi, "ordered range at pc {}", a.pc);
+                }
+            }
+            if sharing == MemSharing::PerThread {
+                prop_assert!(mem.races().is_empty(), "separate memories cannot race");
+            }
+            for r in mem.races() {
+                let store = mem.access_at(r.store_pc).expect("race anchors to an access");
+                prop_assert!(store.is_store);
+                let other = mem.access_at(r.other_pc).expect("race anchors to an access");
+                prop_assert_eq!(other.is_store, r.other_is_store);
+            }
+        }
+    }
+
+    /// No stores ⇒ nothing can race: the sharing-aware lint adds no
+    /// race findings to a store-free program under shared memory.
+    #[test]
+    fn store_free_programs_lint_race_clean(
+        insts in prop::collection::vec(arb_inst(32), 1..32)
+    ) {
+        let insts: Vec<Inst> = insts
+            .into_iter()
+            .map(|i| match i {
+                Inst::St { .. } => Inst::Nop,
+                other => other,
+            })
+            .collect();
+        let prog = Program::from_insts(insts);
+        for lint in lint_program_with_sharing(&prog, MemSharing::Shared) {
+            prop_assert!(
+                !matches!(lint.kind, LintKind::SharedStoreRace | LintKind::CrossThreadReadWrite),
+                "store-free program flagged a race: {lint}"
+            );
+        }
+    }
+
+    /// Divergence-free programs (no `tid`, no stores, shared memory):
+    /// every value is thread-invariant, so every load must classify
+    /// invariant and every LVIP bracket must allow a perfect hit rate.
+    #[test]
+    fn divergence_free_loads_classify_invariant(
+        insts in prop::collection::vec(arb_inst(32), 1..32)
+    ) {
+        let insts: Vec<Inst> = insts
+            .into_iter()
+            .map(|i| match i {
+                Inst::St { .. } | Inst::Tid { .. } => Inst::Nop,
+                other => other,
+            })
+            .collect();
+        let prog = Program::from_insts(insts);
+        let mem = MemDepAnalysis::run(&prog, MemSharing::Shared);
+        for a in mem.accesses() {
+            prop_assert_eq!(
+                a.class, AccessClass::Invariant,
+                "tid-free store-free shared program: access at pc {} must be invariant", a.pc
+            );
+        }
+        let lvip = predict_lvip(&prog, MemSharing::Shared);
+        for b in &lvip.loads {
+            prop_assert!(b.addr_invariant, "pc {}", b.pc);
+            prop_assert_eq!(b.hit_upper, 1.0);
+            prop_assert!(b.brackets(1.0), "a perfect hit rate is always allowed");
         }
     }
 }

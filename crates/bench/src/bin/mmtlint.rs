@@ -25,7 +25,7 @@
 //! file). The 0-vs-1 split is what makes the tool usable as a CI gate
 //! over the workload generator, in either output format.
 
-use mmt_analysis::{lint_program, Lint, Oracle};
+use mmt_analysis::{lint_program_with_sharing, Lint, Oracle};
 use mmt_bench::arg_value;
 use mmt_isa::{MemSharing, Program};
 use mmt_workloads::{all_apps, app_by_name, App};
@@ -140,7 +140,10 @@ fn finish(format: Format, programs: &[ProgramJson], failed: bool) -> ! {
 /// Lint and classify one program; in text mode, print the findings as we
 /// go. Returns the machine-readable summary either way.
 fn report(name: &str, program: &Program, sharing: MemSharing, format: Format) -> ProgramJson {
-    let lints = lint_program(program);
+    // Sharing-aware: under `mt` this adds the static data-race lint
+    // (shared-store collisions are errors, cross-thread read/write pairs
+    // are warnings).
+    let lints = lint_program_with_sharing(program, sharing);
     let oracle = Oracle::new(program, sharing);
     let (must_merge, may_merge, must_split) = oracle.static_counts();
     let sharing_label = match sharing {

@@ -1,0 +1,496 @@
+//! `mmtmem` — differential validation of the static memory divergence
+//! analysis, race lint, and LVIP hit predictor.
+//!
+//! For every selected workload and thread count the tool runs the static
+//! memory stack ([`MemDepAnalysis`] + [`predict_lvip`]) and **two**
+//! dynamic oracles:
+//!
+//! 1. the cycle-level pipeline with `record_pc_profile`, whose per-PC
+//!    counters now include LVIP lookups/hits/misses and merged-access
+//!    address divergence, and
+//! 2. a functional round-robin interleaving of [`Machine`] steps that
+//!    records every (word, thread, pc) memory touch.
+//!
+//! Soundness gates (any failure → exit 1):
+//!
+//! * **Invariant addresses**: a PC classified [`AccessClass::Invariant`]
+//!   must never dispatch a merged memory macro-op with divergent
+//!   per-thread addresses (`mem_addr_diverged == 0`), and in the
+//!   functional run all threads must observe identical address
+//!   sequences (or a single common address).
+//! * **Tid-private addresses**: every observed address must fall in the
+//!   statically-computed per-thread range, and bounded ranges must be
+//!   pairwise disjoint across threads in practice.
+//! * **Race completeness**: in shared-memory apps, every dynamic
+//!   conflicting pair (two threads touch the same word, at least one a
+//!   store) must appear in the static race list — zero false negatives.
+//! * **LVIP structure + bracket**: a load the static side marks
+//!   non-predictable must show zero per-PC LVIP lookups (tid-private
+//!   base registers can never be RST-shared; shared-memory loads never
+//!   consult LVIP at all), and every measured per-PC hit rate must fall
+//!   inside its static bracket.
+//!
+//! ```text
+//! mmtmem --all-workloads
+//! mmtmem --app swaptions --threads 2,4 --scale 16
+//! ```
+//!
+//! | flag | default | meaning |
+//! |---|---|---|
+//! | `--all-workloads` | —     | shorthand for `--app all` |
+//! | `--app NAME`      | `all` | suite app name, or `all` |
+//! | `--threads LIST`  | `2,4` | comma-separated thread counts |
+//! | `--scale N`       | `16`  | iteration divisor for app instances |
+//! | `--jobs N`        | cores | parallel cases |
+//!
+//! Output is a GitHub-flavoured markdown table (suitable for a CI job
+//! summary) and `results/BENCH_memdep.json`. Exit status: 0 clean,
+//! 1 soundness violations, 2 usage errors.
+
+use mmt_analysis::{predict_lvip, AccessClass, MemDepAnalysis};
+use mmt_bench::sweep::{jobs_arg, run_parallel, write_report};
+use mmt_bench::{arg_value, to_run_spec};
+use mmt_isa::interp::{Machine, Memory};
+use mmt_isa::{Inst, MemSharing, Program};
+use mmt_sim::{MmtLevel, SimConfig, Simulator};
+use mmt_workloads::{all_apps, app_by_name, App};
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-thread functional-run step budget: suite apps at the default
+/// scale retire well under a million instructions per thread, so hitting
+/// this means the interleaving livelocked — itself a reportable failure.
+const STEP_BUDGET: u64 = 100_000_000;
+
+#[derive(Debug, Clone, serde::Serialize)]
+struct MemRow {
+    app: String,
+    threads: usize,
+    sharing: String,
+    accesses: usize,
+    invariant: usize,
+    tid_private: usize,
+    shared: usize,
+    static_races: usize,
+    static_race_errors: usize,
+    lvip_predictable: usize,
+    mem_merged: u64,
+    mem_addr_diverged: u64,
+    lvip_lookups: u64,
+    lvip_hits: u64,
+    lvip_misses: u64,
+    dynamic_conflict_pairs: usize,
+    functional_steps: u64,
+    soundness_violations: Vec<String>,
+}
+
+#[derive(Debug, Clone, serde::Serialize)]
+struct MemReport {
+    scale: u64,
+    rows: Vec<MemRow>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app_name = if args.iter().any(|a| a == "--all-workloads") {
+        "all".to_string()
+    } else {
+        arg_value(&args, "--app").unwrap_or_else(|| "all".into())
+    };
+    let threads_list: Vec<usize> = arg_value(&args, "--threads")
+        .unwrap_or_else(|| "2,4".into())
+        .split(',')
+        .map(|s| {
+            s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("--threads takes a comma-separated list like 2,4");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let scale: u64 = arg_value(&args, "--scale")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--scale takes a number");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(16);
+    let jobs = jobs_arg(&args);
+
+    let apps: Vec<App> = if app_name == "all" {
+        all_apps()
+    } else {
+        vec![app_by_name(&app_name).unwrap_or_else(|| {
+            eprintln!(
+                "unknown app '{app_name}'; known: {}",
+                all_apps()
+                    .iter()
+                    .map(|a| a.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2);
+        })]
+    };
+
+    let cases: Vec<(App, usize)> = apps
+        .iter()
+        .flat_map(|a| threads_list.iter().map(move |&t| (a.clone(), t)))
+        .collect();
+    let rows = run_parallel(&cases, jobs, |(app, threads)| {
+        validate_case(app, *threads, scale)
+    });
+
+    println!("## mmtmem — static memory classification vs. dynamic addresses (scale {scale})\n");
+    println!(
+        "| app | t | mem | classes (inv/priv/shared) | races (ww/total) | lvip pred | \
+         merged/diverged | lvip l/h/m | dyn pairs | soundness |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|");
+    let mut violations = 0usize;
+    for r in &rows {
+        violations += r.soundness_violations.len();
+        println!(
+            "| {} | {} | {} | {}/{}/{} | {}/{} | {} | {}/{} | {}/{}/{} | {} | {} |",
+            r.app,
+            r.threads,
+            r.sharing,
+            r.invariant,
+            r.tid_private,
+            r.shared,
+            r.static_race_errors,
+            r.static_races,
+            r.lvip_predictable,
+            r.mem_merged,
+            r.mem_addr_diverged,
+            r.lvip_lookups,
+            r.lvip_hits,
+            r.lvip_misses,
+            r.dynamic_conflict_pairs,
+            if r.soundness_violations.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("FAIL ({})", r.soundness_violations.len())
+            },
+        );
+    }
+    println!();
+    for r in &rows {
+        for v in &r.soundness_violations {
+            eprintln!("SOUNDNESS {} t={}: {v}", r.app, r.threads);
+        }
+    }
+
+    let report = MemReport { scale, rows };
+    match write_report("memdep", &report) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write report: {e}");
+            std::process::exit(2);
+        }
+    }
+    if violations > 0 {
+        eprintln!("mmtmem: {violations} soundness violation(s)");
+        std::process::exit(1);
+    }
+    println!("mmtmem: all checks passed");
+}
+
+/// What the functional interleaving observed at one (pc, thread).
+#[derive(Debug, Clone, Default)]
+struct PcThreadObs {
+    addrs: BTreeSet<u64>,
+    count: u64,
+    /// FNV-1a over the address sequence, order-sensitive.
+    seq_hash: u64,
+}
+
+impl PcThreadObs {
+    fn record(&mut self, addr: u64) {
+        self.addrs.insert(addr);
+        self.count += 1;
+        let mut h = if self.count == 1 {
+            0xcbf2_9ce4_8422_2325u64
+        } else {
+            self.seq_hash
+        };
+        for b in addr.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.seq_hash = h;
+    }
+}
+
+/// Static-vs-dynamic memory comparison for one (app, threads) case.
+fn validate_case(app: &App, threads: usize, scale: u64) -> MemRow {
+    let w = app.instance(threads, scale);
+    let program = w.program.clone();
+    let sharing = w.sharing;
+    let initial_memories = w.memories.clone();
+
+    // Static side.
+    let mem = MemDepAnalysis::run(&program, sharing);
+    let lvip_pred = predict_lvip(&program, sharing);
+    let (invariant, tid_private, shared) = mem.class_counts();
+    let mut violations = Vec::new();
+
+    // Dynamic side 1: the cycle-level pipeline's per-PC profile.
+    let mut cfg = SimConfig::paper_with(threads, MmtLevel::Fxr);
+    cfg.record_pc_profile = true;
+    let result = Simulator::new(cfg, to_run_spec(w))
+        .expect("valid config and spec")
+        .run()
+        .expect("workloads terminate");
+
+    let mut mem_merged = 0u64;
+    let mut mem_addr_diverged = 0u64;
+    let (mut lvip_lookups, mut lvip_hits, mut lvip_misses) = (0u64, 0u64, 0u64);
+    for (pc, c) in result.stats.pc_profile.iter().enumerate() {
+        let pc = pc as u64;
+        mem_merged += c.mem_merged;
+        mem_addr_diverged += c.mem_addr_diverged;
+        lvip_lookups += c.lvip_lookups;
+        lvip_hits += c.lvip_hits;
+        lvip_misses += c.lvip_misses;
+
+        if c.mem_addr_diverged > 0 {
+            match mem.access_at(pc).map(|a| a.class) {
+                Some(AccessClass::Invariant) => violations.push(format!(
+                    "pc {pc} statically invariant but {} of {} merged macro-ops had \
+                     divergent addresses",
+                    c.mem_addr_diverged, c.mem_merged
+                )),
+                None => violations.push(format!(
+                    "pc {pc} had merged memory dispatches but no static access record"
+                )),
+                Some(_) => {}
+            }
+        }
+
+        if c.lvip_lookups > 0 || c.lvip_hits > 0 || c.lvip_misses > 0 {
+            match lvip_pred.at(pc) {
+                None => violations.push(format!(
+                    "pc {pc} consulted LVIP {} time(s) but the static side sees no load there",
+                    c.lvip_lookups
+                )),
+                Some(b) if !b.predictable => violations.push(format!(
+                    "pc {pc} consulted LVIP {} time(s) but is statically non-predictable \
+                     ({})",
+                    c.lvip_lookups,
+                    if sharing == MemSharing::Shared {
+                        "shared-memory load"
+                    } else {
+                        "tid-private address"
+                    }
+                )),
+                Some(b) => {
+                    if c.lvip_hits + c.lvip_misses > c.lvip_lookups {
+                        violations.push(format!(
+                            "pc {pc}: {} hits + {} misses exceed {} lookups",
+                            c.lvip_hits, c.lvip_misses, c.lvip_lookups
+                        ));
+                    }
+                    let resolved = c.lvip_hits + c.lvip_misses;
+                    if resolved > 0 {
+                        let rate = c.lvip_hits as f64 / resolved as f64;
+                        if !b.brackets(rate) {
+                            violations.push(format!(
+                                "pc {pc}: measured LVIP hit rate {rate:.4} outside static \
+                                 bracket [{:.4}, {:.4}]",
+                                b.hit_lower, b.hit_upper
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Dynamic side 2: functional round-robin interleaving.
+    let (obs, touches, functional_steps) = functional_run(
+        &program,
+        sharing,
+        threads,
+        initial_memories,
+        &mut violations,
+    );
+
+    // Invariant / tid-private checks against the functional observations.
+    for a in mem.accesses() {
+        let per_thread: Vec<&PcThreadObs> = (0..threads)
+            .map(|t| obs.get(&(a.pc, t)).unwrap_or(&EMPTY_OBS))
+            .collect();
+        // Range containment holds for every class that has a range.
+        for (t, o) in per_thread.iter().enumerate() {
+            if let Some((lo, hi)) = a.thread_range(t) {
+                if let Some(&bad) = o.addrs.iter().find(|&&x| x < lo || x > hi) {
+                    violations.push(format!(
+                        "pc {} thread {t}: observed address {bad} outside static range \
+                         [{lo}, {hi}] (class {})",
+                        a.pc, a.class
+                    ));
+                }
+            }
+        }
+        match a.class {
+            AccessClass::Invariant => {
+                let lead = per_thread[0];
+                let seq_equal = per_thread
+                    .iter()
+                    .all(|o| (o.count, o.seq_hash) == (lead.count, lead.seq_hash));
+                if !seq_equal {
+                    let union: BTreeSet<u64> = per_thread
+                        .iter()
+                        .flat_map(|o| o.addrs.iter().copied())
+                        .collect();
+                    if union.len() > 1 {
+                        violations.push(format!(
+                            "pc {} statically invariant but threads observed {} distinct \
+                             addresses with unequal sequences",
+                            a.pc,
+                            union.len()
+                        ));
+                    }
+                }
+            }
+            AccessClass::TidPrivate { .. } => {
+                // Bounded per-thread ranges are provably disjoint; check
+                // the observed sets agree. (Unbounded-residue private
+                // accesses are only instant-disjoint, not set-disjoint,
+                // so they are covered by the range check above alone.)
+                if (0..threads).all(|t| a.thread_range(t).is_some()) {
+                    for t in 0..threads {
+                        for u in t + 1..threads {
+                            if let Some(&x) = per_thread[t]
+                                .addrs
+                                .intersection(&per_thread[u].addrs)
+                                .next()
+                            {
+                                violations.push(format!(
+                                    "pc {} statically tid-private but threads {t} and {u} \
+                                     both touched word {x}",
+                                    a.pc
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            AccessClass::Shared { .. } => {}
+        }
+    }
+
+    // Race completeness (shared memory only): every dynamic conflicting
+    // pair must be in the static race list.
+    let mut dynamic_pairs: BTreeSet<(u64, u64, bool)> = BTreeSet::new();
+    if sharing == MemSharing::Shared {
+        let static_pairs: BTreeSet<(u64, u64, bool)> = mem
+            .races()
+            .iter()
+            .map(|r| (r.store_pc, r.other_pc, r.other_is_store))
+            .collect();
+        for accessors in touches.values() {
+            for &(t, spc, s_store) in accessors {
+                if !s_store {
+                    continue;
+                }
+                for &(u, opc, o_store) in accessors {
+                    if u == t {
+                        continue;
+                    }
+                    let key = if o_store {
+                        (spc.min(opc), spc.max(opc), true)
+                    } else {
+                        (spc, opc, false)
+                    };
+                    if dynamic_pairs.insert(key) && !static_pairs.contains(&key) {
+                        violations.push(format!(
+                            "dynamic {} conflict (pcs {} and {}) missing from the static \
+                             race list — race-lint false negative",
+                            if key.2 { "store-store" } else { "store-load" },
+                            key.0,
+                            key.1
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    MemRow {
+        app: app.name.to_string(),
+        threads,
+        sharing: match sharing {
+            MemSharing::Shared => "mt".into(),
+            MemSharing::PerThread => "me".into(),
+        },
+        accesses: mem.accesses().len(),
+        invariant,
+        tid_private,
+        shared,
+        static_races: mem.races().len(),
+        static_race_errors: mem.races().iter().filter(|r| r.other_is_store).count(),
+        lvip_predictable: lvip_pred.predictable_count(),
+        mem_merged,
+        mem_addr_diverged,
+        lvip_lookups,
+        lvip_hits,
+        lvip_misses,
+        dynamic_conflict_pairs: dynamic_pairs.len(),
+        functional_steps,
+        soundness_violations: violations,
+    }
+}
+
+static EMPTY_OBS: PcThreadObs = PcThreadObs {
+    addrs: BTreeSet::new(),
+    count: 0,
+    seq_hash: 0,
+};
+
+type TouchMap = HashMap<u64, Vec<(usize, u64, bool)>>;
+
+/// Execute the program functionally, one step per live thread per round
+/// (a fair interleaving), recording per-(pc, thread) address
+/// observations and per-word accessor lists.
+fn functional_run(
+    program: &Program,
+    sharing: MemSharing,
+    threads: usize,
+    mut memories: Vec<Memory>,
+    violations: &mut Vec<String>,
+) -> (HashMap<(u64, usize), PcThreadObs>, TouchMap, u64) {
+    let mut machines: Vec<Machine> = (0..threads).map(Machine::new).collect();
+    let mut obs: HashMap<(u64, usize), PcThreadObs> = HashMap::new();
+    let mut touches: TouchMap = HashMap::new();
+    let mut steps = 0u64;
+    let budget = STEP_BUDGET * threads as u64;
+    while machines.iter().any(|m| !m.halted()) {
+        if steps >= budget {
+            violations.push(format!(
+                "functional interleaving exceeded {budget} steps without halting"
+            ));
+            break;
+        }
+        for (t, m) in machines.iter_mut().enumerate() {
+            if m.halted() {
+                continue;
+            }
+            let mem = match sharing {
+                MemSharing::Shared => &mut memories[0],
+                MemSharing::PerThread => &mut memories[t],
+            };
+            let info = m.step(program, mem).expect("suite programs execute");
+            steps += 1;
+            if let Some(addr) = info.mem_addr {
+                obs.entry((info.pc, t)).or_default().record(addr);
+                let is_store = matches!(info.inst, Inst::St { .. });
+                let list = touches.entry(addr).or_default();
+                if !list.contains(&(t, info.pc, is_store)) {
+                    list.push((t, info.pc, is_store));
+                }
+            }
+        }
+    }
+    (obs, touches, steps)
+}

@@ -24,6 +24,7 @@
 //! | `--sync S`        | `fhb`       | `fhb` or `hints` |
 //! | `--format F`      | `text`      | `text` (human-readable) or `json` (one object per app) |
 //! | `--json`          | off         | alias for `--format json` |
+//! | `--pc-profile`    | off         | record the per-PC profile (fetch/exec/LVIP/address counters); with `--format json` it rides along in `stats.pc_profile` — the same wire format `mmtmem` consumes |
 //! | `--asm PATH`      | —           | simulate an assembly file instead of a suite app |
 //! | `--sharing S`     | `mt`        | with `--asm`: `mt` (shared memory) or `me` (per process) |
 
@@ -186,6 +187,9 @@ fn run_one(
             eprintln!("unknown fetch style '{other}' (trace|conventional)");
             std::process::exit(2);
         }
+    }
+    if args.iter().any(|a| a == "--pc-profile") {
+        cfg.record_pc_profile = true;
     }
     let w = if limit {
         app.limit_instance(threads, scale)

@@ -56,8 +56,7 @@ struct PerfsmokeReport {
 /// The committed throughput number, read from
 /// `results/BENCH_perfsmoke.json` before this run overwrites it.
 fn committed_cps(path: &str) -> Option<f64> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let v = mmt_obs::json::parse(&text).ok()?;
+    let v = mmt_obs::json::parse_file(path).ok()?;
     v.get("sim_cycles_per_sec")?.as_f64()
 }
 

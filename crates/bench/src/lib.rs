@@ -20,6 +20,7 @@
 //! | `mmtsim` | general-purpose CLI driver (any app/config, JSON output, `--asm` files) |
 //! | `mmtlint` | static linter + merge classification over suite apps (`--format json`) |
 //! | `mmtpredict` | static savings predictor vs. per-PC dynamic profile (differential gate) |
+//! | `mmtmem` | static memory divergence/race analysis + LVIP brackets vs. dynamic addresses (differential gate) |
 //! | `diag_app` | one-line per-level diagnostic for model/workload tuning |
 
 #![warn(missing_docs)]

@@ -1200,6 +1200,8 @@ impl Simulator {
             // rollback penalty is charged (the hardware would flush and
             // refetch; see module docs).
             let mut lvip_rollback = false;
+            let mut lvip_hits = 0u64;
+            let mut lvip_misses = 0u64;
             let mut verified = PartList::new();
             for part in &outcome.parts {
                 if part.lvip_speculative {
@@ -1211,9 +1213,11 @@ impl Simulator {
                         .all(|t| mo.infos[t].as_ref().and_then(|i| i.loaded) == lead_val);
                     if all_equal {
                         self.lvip.record_match(mo.pc);
+                        lvip_hits += 1;
                         verified.push(*part);
                     } else {
                         self.lvip.record_mismatch(mo.pc);
+                        lvip_misses += 1;
                         lvip_rollback = true;
                         for t in part.itid.threads() {
                             verified.push(SplitPart {
@@ -1242,6 +1246,28 @@ impl Simulator {
             slots -= parts;
             self.stats.uops_dispatched += parts as u64;
             self.stats.energy.renames += parts as u64;
+
+            // Per-PC LVIP and address-divergence profile. Bumped only
+            // after the pop: the split + verification above re-run on
+            // stall retries, so counting there would double-count. (The
+            // global `SimStats::lvip_lookups` meter comes from the
+            // predictor itself and deliberately does include retries.)
+            if let Some(c) = self.stats.pc_profile.get_mut(mo.pc as usize) {
+                c.lvip_lookups += outcome.lvip_lookups as u64;
+                c.lvip_hits += lvip_hits;
+                c.lvip_misses += lvip_misses;
+                if is_mem && mo.itid.is_merged() {
+                    c.mem_merged += 1;
+                    let lead_addr = mo.infos[mo.itid.lead()].as_ref().and_then(|i| i.mem_addr);
+                    if mo
+                        .itid
+                        .threads()
+                        .any(|t| mo.infos[t].as_ref().and_then(|i| i.mem_addr) != lead_addr)
+                    {
+                        c.mem_addr_diverged += 1;
+                    }
+                }
+            }
 
             if self.obs.is_some() {
                 let kind = if parts == 1 {

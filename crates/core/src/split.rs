@@ -111,6 +111,9 @@ pub struct SplitOutcome {
     /// the register-merging hardware (feeds Figure 5(b)'s
     /// "Exe-Identical+RegMerge" category).
     pub regmerge_assisted: bool,
+    /// How many times the LVIP was consulted for this decision (once per
+    /// merged ME-load part, hit or miss).
+    pub lvip_lookups: u8,
 }
 
 impl SplitOutcome {
@@ -123,6 +126,7 @@ impl SplitOutcome {
         SplitOutcome {
             parts,
             regmerge_assisted: false,
+            lvip_lookups: 0,
         }
     }
 
@@ -136,6 +140,7 @@ impl SplitOutcome {
                 })
                 .collect(),
             regmerge_assisted: false,
+            lvip_lookups: 0,
         }
     }
 
@@ -193,10 +198,12 @@ pub fn split_instruction_at(
         remaining &= !subset;
     }
 
+    let mut lvip_lookups = 0u8;
     if matches!(inst, Inst::Ld { .. }) && sharing == MemSharing::PerThread {
         let mut adjusted = PartList::new();
         for part in &parts {
             if part.itid.is_merged() {
+                lvip_lookups += 1;
                 if lvip.predict_identical(pc) {
                     adjusted.push(SplitPart {
                         itid: part.itid,
@@ -220,6 +227,7 @@ pub fn split_instruction_at(
     SplitOutcome {
         parts,
         regmerge_assisted,
+        lvip_lookups,
     }
 }
 

@@ -101,6 +101,24 @@ pub struct PcCounters {
     pub exec_split: u64,
     /// Uops dispatched at this PC for a thread fetched alone.
     pub exec_private: u64,
+    /// LVIP consultations for macro-ops dispatched at this PC. Counted
+    /// once per *dispatched* macro-op — stall retries re-consult the
+    /// global predictor but not this counter, so the per-PC sum can
+    /// undercount [`SimStats::lvip_lookups`].
+    pub lvip_lookups: u64,
+    /// LVIP speculations at this PC verified value-identical at execute.
+    pub lvip_hits: u64,
+    /// LVIP speculations at this PC that mispredicted (threads loaded
+    /// different values and the uop re-executed split).
+    pub lvip_misses: u64,
+    /// Merged memory macro-ops dispatched at this PC (two or more
+    /// threads executing the access together).
+    pub mem_merged: u64,
+    /// Of [`PcCounters::mem_merged`], macro-ops whose per-thread
+    /// effective addresses were not all equal. A statically
+    /// address-invariant PC must keep this at zero — the `mmtmem`
+    /// differential gate checks exactly that.
+    pub mem_addr_diverged: u64,
 }
 
 impl PcCounters {

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::Path;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +100,39 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
         return Err(p.err("trailing characters after the document"));
     }
     Ok(v)
+}
+
+/// Error from [`parse_file`]: either the read or the parse failed.
+#[derive(Debug)]
+pub enum FileParseError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The contents were not valid JSON.
+    Parse(ParseError),
+}
+
+impl fmt::Display for FileParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FileParseError::Io(e) => write!(f, "read failed: {e}"),
+            FileParseError::Parse(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for FileParseError {}
+
+/// Read `path` and parse it as one JSON document — the shared helper for
+/// every tool that re-reads a committed report or trace (one reader, no
+/// per-binary copies to drift).
+///
+/// # Errors
+///
+/// [`FileParseError::Io`] if the file cannot be read,
+/// [`FileParseError::Parse`] on the first syntax error.
+pub fn parse_file(path: impl AsRef<Path>) -> Result<Value, FileParseError> {
+    let text = std::fs::read_to_string(path).map_err(FileParseError::Io)?;
+    parse(&text).map_err(FileParseError::Parse)
 }
 
 struct Parser<'a> {
@@ -333,6 +367,24 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_file_round_trips_and_reports_both_error_kinds() {
+        let dir = std::env::temp_dir().join("mmt-json-parse-file-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        std::fs::write(&good, r#"{"sim_cycles_per_sec": 42.5}"#).unwrap();
+        let v = parse_file(&good).unwrap();
+        assert_eq!(v.get("sim_cycles_per_sec").unwrap().as_f64(), Some(42.5));
+
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{nope").unwrap();
+        assert!(matches!(parse_file(&bad), Err(FileParseError::Parse(_))));
+        assert!(matches!(
+            parse_file(dir.join("missing.json")),
+            Err(FileParseError::Io(_))
+        ));
     }
 
     #[test]
