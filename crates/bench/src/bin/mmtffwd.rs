@@ -1,0 +1,355 @@
+//! `mmtffwd` — CI gate for the two-speed simulation stack
+//! (DESIGN.md §14). Three gates, all over the real 16-app suite:
+//!
+//! 1. **Digest** — the block-dispatch fast-forward executor
+//!    ([`mmt_sim::Ffwd`]) must reach *exactly* the detailed model's
+//!    final architectural digest (registers, PCs, retired counts,
+//!    memory images) on every app at 2 and 4 threads.
+//! 2. **Throughput** — fast-forwarding the `perfsmoke` workload must be
+//!    at least [`SPEED_RATIO_FLOOR`]x faster wall-clock than the
+//!    detailed model on the same program (best of `--reps`).
+//! 3. **Sampling** — SMARTS-style sampled runs
+//!    ([`mmt_bench::sample::run_sampled`]) must estimate full-detail
+//!    cycle counts, merged-fetch fractions, and Base→MMT-FXR speedups
+//!    within the documented bounds on every app at 2 threads.
+//!
+//! Writes `results/BENCH_ffwd.json` and prints a markdown summary table
+//! (piped into `$GITHUB_STEP_SUMMARY` by the `ffwd` CI job). Exits
+//! nonzero if any gate fails.
+//!
+//! ```text
+//! cargo run --release -p mmt-bench --bin mmtffwd            # full gate
+//! cargo run --release -p mmt-bench --bin mmtffwd -- --scale 16 --jobs 4
+//! ```
+
+use mmt_bench::sample::{run_sampled, SampleConfig};
+use mmt_bench::sweep::{jobs_arg, run_parallel, write_report};
+use mmt_bench::{arg_value, to_run_spec, FULL_SCALE};
+use mmt_sim::{Ffwd, MmtLevel, RunSpec, SimConfig, SimStats, Simulator};
+use mmt_workloads::{all_apps, perfsmoke_app, App};
+use std::time::Instant;
+
+/// Minimum wall-clock speed ratio of fast-forward over the detailed
+/// model on the same program (gate 2).
+const SPEED_RATIO_FLOOR: f64 = 10.0;
+/// Maximum relative error of the sampled cycle estimate vs. the
+/// full-detail golden, per app (gate 3).
+const CYCLES_REL_ERR_BOUND: f64 = 0.10;
+/// Maximum absolute error of the sampled merged-fetch fraction vs. the
+/// full-detail golden, per app (gate 3). Wider than the cycle bound:
+/// fetch-mode state is microarchitectural and cannot be reconstructed
+/// from an architectural snapshot, so a window whose skip interval
+/// ended inside a divergence episode runs diverged where the golden
+/// run had long since re-merged (DESIGN.md §14 discusses this limit).
+/// Cycle estimates barely notice — divergence changes *which* slots
+/// fetch, not how many — but per-app merge fractions swing by up to
+/// ~0.2 on the high-divergence apps.
+const MERGE_ABS_ERR_BOUND: f64 = 0.25;
+/// Maximum relative error of the sampled Base→FXR speedup vs. the
+/// full-detail golden, per app (gate 3).
+const SPEEDUP_REL_ERR_BOUND: f64 = 0.15;
+
+#[derive(serde::Serialize)]
+struct DigestRow {
+    app: &'static str,
+    threads: usize,
+    insts: u64,
+    matched: bool,
+    ffwd_minsts_per_sec: f64,
+}
+
+#[derive(serde::Serialize)]
+struct SampleRow {
+    app: &'static str,
+    golden_cycles: u64,
+    est_cycles: f64,
+    cycles_rel_err: f64,
+    golden_merge: f64,
+    est_merge: f64,
+    merge_abs_err: f64,
+    golden_speedup: f64,
+    est_speedup: f64,
+    speedup_rel_err: f64,
+    windows: usize,
+    detailed_fraction: f64,
+    pass: bool,
+}
+
+#[derive(serde::Serialize)]
+struct ThroughputRep {
+    detailed_wall_ms: f64,
+    ffwd_wall_ms: f64,
+    ratio: f64,
+    ffwd_minsts_per_sec: f64,
+}
+
+#[derive(serde::Serialize)]
+struct FfwdReport {
+    figure: String,
+    scale: u64,
+    jobs: usize,
+    speed_ratio: f64,
+    speed_ratio_floor: f64,
+    ffwd_minsts_per_sec: f64,
+    cycles_rel_err_bound: f64,
+    merge_abs_err_bound: f64,
+    speedup_rel_err_bound: f64,
+    worst_cycles_rel_err: f64,
+    worst_merge_abs_err: f64,
+    worst_speedup_rel_err: f64,
+    pass: bool,
+    throughput: Vec<ThroughputRep>,
+    digest: Vec<DigestRow>,
+    sampling: Vec<SampleRow>,
+}
+
+/// Detailed run driven cycle-by-cycle so the final architectural digest
+/// can be read before the stats fold; returns `(stats, digest)`.
+fn detailed_golden(cfg: SimConfig, spec: RunSpec) -> (SimStats, u64) {
+    let mut sim = Simulator::new(cfg, spec).expect("valid config and spec");
+    while !sim.finished() {
+        sim.step_cycle().expect("suite workloads terminate");
+    }
+    let digest = sim.arch_state().digest();
+    (sim.finish().stats, digest)
+}
+
+fn ffwd_digest(spec: &RunSpec) -> (u64, u64, f64) {
+    let ffwd = Ffwd::new(&spec.program);
+    let mut state = spec.initial_arch_state();
+    let start = Instant::now();
+    let insts = ffwd
+        .run_to_halt(&spec.program, &mut state, u64::MAX)
+        .expect("suite workloads terminate");
+    let wall = start.elapsed().as_secs_f64();
+    (state.digest(), insts, insts as f64 / wall.max(1e-9) / 1e6)
+}
+
+fn merge_fraction(stats: &SimStats) -> f64 {
+    let (m, _, _) = stats.fetch_modes.fractions();
+    m
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: u64 = arg_value(&args, "--scale")
+        .map(|v| v.parse().expect("--scale takes a number"))
+        .unwrap_or(FULL_SCALE);
+    let reps: usize = arg_value(&args, "--reps")
+        .map(|v| v.parse().expect("--reps takes a number"))
+        .unwrap_or(3);
+    let jobs = jobs_arg(&args);
+    let apps = all_apps();
+    let sample = SampleConfig::default();
+
+    // Gate 1 + goldens: every (app, threads) pair runs the detailed
+    // model once (stepped, for the digest) and the fast-forward executor
+    // once. The 2-thread FXR stats double as gate 3's goldens.
+    let grid: Vec<(&App, usize)> = apps
+        .iter()
+        .flat_map(|a| [(a, 2usize), (a, 4usize)])
+        .collect();
+    let digest_runs = run_parallel(&grid, jobs, |(app, threads)| {
+        let cfg = SimConfig::paper_with(*threads, MmtLevel::Fxr);
+        let spec = to_run_spec(app.instance(*threads, scale));
+        let (stats, golden_digest) = detailed_golden(cfg, spec.clone());
+        let (fast_digest, insts, minsts) = ffwd_digest(&spec);
+        (
+            DigestRow {
+                app: app.name,
+                threads: *threads,
+                insts,
+                matched: fast_digest == golden_digest,
+                ffwd_minsts_per_sec: minsts,
+            },
+            stats,
+        )
+    });
+    let (digest, goldens): (Vec<DigestRow>, Vec<SimStats>) = digest_runs.into_iter().unzip();
+    let digest_pass = digest.iter().all(|r| r.matched);
+
+    // Gate 3: sampled estimates vs. the full-detail goldens at 2
+    // threads (the even grid slots), including the paper's headline
+    // Base→FXR speedup.
+    let fxr_goldens: Vec<&SimStats> = goldens.iter().step_by(2).collect();
+    let sampling = run_parallel(&apps, jobs, |app| {
+        let idx = apps.iter().position(|a| a.name == app.name).unwrap();
+        let golden_fxr = fxr_goldens[idx];
+        let spec = to_run_spec(app.instance(2, scale));
+        let base_cfg = SimConfig::paper_with(2, MmtLevel::Base);
+        let golden_base = Simulator::new(base_cfg.clone(), spec.clone())
+            .expect("valid config and spec")
+            .run()
+            .expect("suite workloads terminate")
+            .stats;
+
+        let fxr_cfg = SimConfig::paper_with(2, MmtLevel::Fxr);
+        let est_fxr = run_sampled(&fxr_cfg, &spec, &sample);
+        let est_base = run_sampled(&base_cfg, &spec, &sample);
+
+        let golden_merge = merge_fraction(golden_fxr);
+        let golden_speedup = golden_base.cycles as f64 / golden_fxr.cycles.max(1) as f64;
+        let est_speedup = est_base.est_cycles / est_fxr.est_cycles.max(1.0);
+        let cycles_rel_err = est_fxr.cycles_rel_err(golden_fxr.cycles);
+        let merge_abs_err = (est_fxr.merge_fraction - golden_merge).abs();
+        let speedup_rel_err = (est_speedup - golden_speedup).abs() / golden_speedup;
+        SampleRow {
+            app: app.name,
+            golden_cycles: golden_fxr.cycles,
+            est_cycles: est_fxr.est_cycles,
+            cycles_rel_err,
+            golden_merge,
+            est_merge: est_fxr.merge_fraction,
+            merge_abs_err,
+            golden_speedup,
+            est_speedup,
+            speedup_rel_err,
+            windows: est_fxr.windows.len(),
+            detailed_fraction: est_fxr.detailed_fraction(),
+            pass: cycles_rel_err <= CYCLES_REL_ERR_BOUND
+                && merge_abs_err <= MERGE_ABS_ERR_BOUND
+                && speedup_rel_err <= SPEEDUP_REL_ERR_BOUND,
+        }
+    });
+    let sampling_pass = sampling.iter().all(|r| r.pass);
+
+    // Gate 2: wall-clock speed ratio on the perfsmoke workload, both
+    // thread counts per rep, best rep (rejects background-load noise).
+    let smoke = perfsmoke_app();
+    let mut throughput = Vec::new();
+    for _ in 0..reps {
+        let mut detailed_wall = 0.0f64;
+        let mut ffwd_wall = 0.0f64;
+        let mut ffwd_insts = 0u64;
+        for threads in [2usize, 4] {
+            let cfg = SimConfig::paper_with(threads, MmtLevel::Fxr);
+            let spec = to_run_spec(smoke.instance(threads, 1));
+            let sim = Simulator::new(cfg, spec.clone()).expect("valid config and spec");
+            let start = Instant::now();
+            sim.run().expect("perfsmoke workload terminates");
+            detailed_wall += start.elapsed().as_secs_f64() * 1e3;
+
+            let ffwd = Ffwd::new(&spec.program);
+            let mut state = spec.initial_arch_state();
+            let start = Instant::now();
+            ffwd_insts += ffwd
+                .run_to_halt(&spec.program, &mut state, u64::MAX)
+                .expect("perfsmoke workload terminates");
+            ffwd_wall += start.elapsed().as_secs_f64() * 1e3;
+        }
+        throughput.push(ThroughputRep {
+            detailed_wall_ms: detailed_wall,
+            ffwd_wall_ms: ffwd_wall,
+            ratio: detailed_wall / ffwd_wall.max(1e-9),
+            ffwd_minsts_per_sec: ffwd_insts as f64 / (ffwd_wall / 1e3).max(1e-9) / 1e6,
+        });
+    }
+    let best = throughput
+        .iter()
+        .max_by(|a, b| a.ratio.total_cmp(&b.ratio))
+        .expect("at least one rep");
+    let (speed_ratio, ffwd_minsts) = (best.ratio, best.ffwd_minsts_per_sec);
+    let throughput_pass = speed_ratio >= SPEED_RATIO_FLOOR;
+
+    let worst_cycles = sampling
+        .iter()
+        .map(|r| r.cycles_rel_err)
+        .fold(0.0, f64::max);
+    let worst_merge = sampling.iter().map(|r| r.merge_abs_err).fold(0.0, f64::max);
+    let worst_speedup = sampling
+        .iter()
+        .map(|r| r.speedup_rel_err)
+        .fold(0.0, f64::max);
+    let pass = digest_pass && throughput_pass && sampling_pass;
+
+    let report = FfwdReport {
+        figure: "ffwd".into(),
+        scale,
+        jobs,
+        speed_ratio,
+        speed_ratio_floor: SPEED_RATIO_FLOOR,
+        ffwd_minsts_per_sec: ffwd_minsts,
+        cycles_rel_err_bound: CYCLES_REL_ERR_BOUND,
+        merge_abs_err_bound: MERGE_ABS_ERR_BOUND,
+        speedup_rel_err_bound: SPEEDUP_REL_ERR_BOUND,
+        worst_cycles_rel_err: worst_cycles,
+        worst_merge_abs_err: worst_merge,
+        worst_speedup_rel_err: worst_speedup,
+        pass,
+        throughput,
+        digest,
+        sampling,
+    };
+
+    // Markdown job summary (CI pipes stdout into $GITHUB_STEP_SUMMARY).
+    println!("## Two-speed simulation gate\n");
+    println!("| gate | result | bound | status |");
+    println!("|---|---|---|---|");
+    println!(
+        "| architectural digest | {}/{} runs match | all | {} |",
+        report.digest.iter().filter(|r| r.matched).count(),
+        report.digest.len(),
+        status(digest_pass)
+    );
+    println!(
+        "| ffwd speed ratio | {speed_ratio:.1}x ({ffwd_minsts:.1} Minst/s) | >= {SPEED_RATIO_FLOOR:.0}x | {} |",
+        status(throughput_pass)
+    );
+    println!(
+        "| sampled cycles rel err (worst) | {:.1}% | <= {:.0}% | {} |",
+        worst_cycles * 100.0,
+        CYCLES_REL_ERR_BOUND * 100.0,
+        status(worst_cycles <= CYCLES_REL_ERR_BOUND)
+    );
+    println!(
+        "| sampled merge abs err (worst) | {:.3} | <= {MERGE_ABS_ERR_BOUND} | {} |",
+        worst_merge,
+        status(worst_merge <= MERGE_ABS_ERR_BOUND)
+    );
+    println!(
+        "| sampled speedup rel err (worst) | {:.1}% | <= {:.0}% | {} |",
+        worst_speedup * 100.0,
+        SPEEDUP_REL_ERR_BOUND * 100.0,
+        status(worst_speedup <= SPEEDUP_REL_ERR_BOUND)
+    );
+    println!("\n### Per-app sampling accuracy (2 threads, MMT-FXR)\n");
+    println!(
+        "| app | golden cycles | est cycles | err | merge (g/est) | speedup (g/est) | windows |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    for r in &report.sampling {
+        println!(
+            "| {} | {} | {:.0} | {:.1}% | {:.2}/{:.2} | {:.2}/{:.2} | {} |",
+            r.app,
+            r.golden_cycles,
+            r.est_cycles,
+            r.cycles_rel_err * 100.0,
+            r.golden_merge,
+            r.est_merge,
+            r.golden_speedup,
+            r.est_speedup,
+            r.windows
+        );
+    }
+    for r in report.digest.iter().filter(|r| !r.matched) {
+        println!(
+            "\n**digest mismatch**: {} @ {} threads ({} insts)",
+            r.app, r.threads, r.insts
+        );
+    }
+
+    let path = write_report("ffwd", &report).expect("write results/BENCH_ffwd.json");
+    println!("\nwrote {}", path.display());
+    if !pass {
+        eprintln!("mmtffwd: gate FAILED");
+        std::process::exit(1);
+    }
+}
+
+fn status(ok: bool) -> &'static str {
+    if ok {
+        "PASS"
+    } else {
+        "**FAIL**"
+    }
+}

@@ -27,12 +27,26 @@
 //! | `--pc-profile`    | off         | record the per-PC profile (fetch/exec/LVIP/address counters); with `--format json` it rides along in `stats.pc_profile` — the same wire format `mmtmem` consumes |
 //! | `--asm PATH`      | —           | simulate an assembly file instead of a suite app |
 //! | `--sharing S`     | `mt`        | with `--asm`: `mt` (shared memory) or `me` (per process) |
+//!
+//! Two-speed simulation (see DESIGN.md §14):
+//!
+//! | flag | default | meaning |
+//! |---|---|---|
+//! | `--checkpoint FILE`   | —      | write the architectural state as JSON at `--checkpoint-at`, then keep running |
+//! | `--checkpoint-at N`   | `1000` | cycle at which `--checkpoint` captures the state |
+//! | `--resume FILE`       | —      | resume from a `--checkpoint` JSON instead of reset (stats cover the resumed portion) |
+//! | `--sample`            | off    | SMARTS-style sampled run: fast-forward + detailed windows, estimates with error bars |
+//! | `--sample-skip N`     | `6000` | instructions fast-forwarded between windows |
+//! | `--sample-warmup N`   | `500`  | detailed-but-unmeasured instructions per window |
+//! | `--sample-measure N`  | `1500` | measured instructions per window |
 
+use mmt_bench::sample::{run_sampled, SampleConfig};
 use mmt_bench::{arg_value, to_run_spec, FULL_SCALE};
 use mmt_energy::EnergyModel;
 use mmt_sim::config::SyncPolicy;
+use mmt_sim::snapshot::{self, ArchState};
 use mmt_sim::{FetchStyle, MmtLevel, SimConfig, SimResult, Simulator};
-use mmt_workloads::{all_apps, app_by_name, App};
+use mmt_workloads::{all_apps, app_by_name, App, WorkloadInstance};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -75,6 +89,25 @@ fn main() {
         })]
     };
 
+    if args.iter().any(|a| a == "--sample") {
+        let sample = sample_config(&args);
+        for app in &apps {
+            let (cfg, w, level_label) = configure(app, &level_name, threads, scale, &args);
+            let est = run_sampled(&cfg, &to_run_spec(w), &sample);
+            if json {
+                println!(
+                    "{{\"app\":{:?},\"level\":{:?},\"threads\":{threads},\"sampled\":{}}}",
+                    app.name,
+                    level_label,
+                    serde_json::to_string(&est).expect("estimate serializes"),
+                );
+            } else {
+                print_sampled(app, &level_label, &est);
+            }
+        }
+        return;
+    }
+
     for app in &apps {
         let (result, level_label) = run_one(app, &level_name, threads, scale, &args);
         if json {
@@ -88,6 +121,20 @@ fn main() {
             print_human(app, &level_label, &result);
         }
     }
+}
+
+fn sample_config(args: &[String]) -> SampleConfig {
+    let mut sample = SampleConfig::default();
+    if let Some(v) = arg_value(args, "--sample-skip") {
+        sample.skip = v.parse().expect("--sample-skip takes a number");
+    }
+    if let Some(v) = arg_value(args, "--sample-warmup") {
+        sample.warmup = v.parse().expect("--sample-warmup takes a number");
+    }
+    if let Some(v) = arg_value(args, "--sample-measure") {
+        sample.measure = v.parse().expect("--sample-measure takes a number");
+    }
+    sample
 }
 
 /// Simulate a hand-written assembly file (empty initial memories).
@@ -152,13 +199,16 @@ fn run_asm(path: &str, args: &[String]) {
     print_human(&fake_app, level.name(), &result);
 }
 
-fn run_one(
+/// Build the configured `(SimConfig, workload, level label)` triple for
+/// one app from the command line (shared by the detailed, sampled, and
+/// checkpoint/resume paths).
+fn configure(
     app: &App,
     level_name: &str,
     threads: usize,
     scale: u64,
     args: &[String],
-) -> (SimResult, String) {
+) -> (SimConfig, WorkloadInstance, String) {
     let (level, limit) = match level_name {
         "base" => (MmtLevel::Base, false),
         "f" => (MmtLevel::F, false),
@@ -207,16 +257,119 @@ fn run_one(
             std::process::exit(2);
         }
     }
-    let result = Simulator::new(cfg, to_run_spec(w))
-        .expect("valid config and spec")
-        .run()
-        .expect("workloads terminate");
     let label = if limit {
         "limit".into()
     } else {
         level.name().to_string()
     };
+    (cfg, w, label)
+}
+
+fn run_one(
+    app: &App,
+    level_name: &str,
+    threads: usize,
+    scale: u64,
+    args: &[String],
+) -> (SimResult, String) {
+    let (cfg, w, label) = configure(app, level_name, threads, scale, args);
+
+    if let Some(path) = arg_value(args, "--resume") {
+        return (resume_run(cfg, w, &path), label);
+    }
+    if let Some(path) = arg_value(args, "--checkpoint") {
+        let at: u64 = arg_value(args, "--checkpoint-at")
+            .map(|v| v.parse().expect("--checkpoint-at takes a cycle number"))
+            .unwrap_or(1000);
+        return (checkpointing_run(cfg, w, &path, at), label);
+    }
+
+    let result = Simulator::new(cfg, to_run_spec(w))
+        .expect("valid config and spec")
+        .run()
+        .expect("workloads terminate");
     (result, label)
+}
+
+/// Run normally but dump the architectural state as JSON once the clock
+/// reaches `at` (or at the end, with a warning, if the run is shorter).
+fn checkpointing_run(cfg: SimConfig, w: WorkloadInstance, path: &str, at: u64) -> SimResult {
+    let mut sim = Simulator::new(cfg, to_run_spec(w)).expect("valid config and spec");
+    let mut written = false;
+    while !sim.finished() {
+        if sim.now() == at {
+            write_checkpoint(&sim.arch_state(), path);
+            written = true;
+        }
+        sim.step_cycle().expect("workloads terminate");
+    }
+    if !written {
+        eprintln!(
+            "warning: run finished at cycle {} before --checkpoint-at {at}; \
+             writing the final state",
+            sim.now()
+        );
+        write_checkpoint(&sim.arch_state(), path);
+    }
+    sim.finish()
+}
+
+fn write_checkpoint(state: &ArchState, path: &str) {
+    if let Err(e) = std::fs::write(path, state.to_json() + "\n") {
+        eprintln!("cannot write checkpoint {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("checkpoint written to {path} at cycle {}", state.cycle);
+}
+
+/// Resume from a `--checkpoint` JSON file. The reported stats cover the
+/// resumed portion only (the pipeline restarts empty — see DESIGN.md
+/// §14 for the handoff contract).
+fn resume_run(cfg: SimConfig, w: WorkloadInstance, path: &str) -> SimResult {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read checkpoint {path}: {e}");
+        std::process::exit(2);
+    });
+    let state = ArchState::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    if state.config_digest != snapshot::config_digest(&cfg) {
+        eprintln!(
+            "warning: checkpoint was captured under a different configuration; \
+             resuming is architecturally sound but timing is not comparable"
+        );
+    }
+    Simulator::from_arch(cfg, w.program, &state)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot resume from {path}: {e}");
+            std::process::exit(2);
+        })
+        .run()
+        .expect("workloads terminate")
+}
+
+fn print_sampled(app: &App, level: &str, est: &mmt_bench::sample::SampledEstimate) {
+    println!(
+        "{} [{}] sampled ({} windows, {:.1}% detailed):",
+        app.name,
+        level,
+        est.windows.len(),
+        est.detailed_fraction() * 100.0
+    );
+    println!(
+        "  est cycles {:>10.0} ± {:<8.0} est ipc {:>5.2}   insts {} (exact)",
+        est.est_cycles,
+        est.cycles_err,
+        est.total_insts as f64 / est.est_cycles.max(1.0),
+        est.total_insts
+    );
+    println!(
+        "  merge fraction {:>5.1}%   measured {} insts / {} cycles in windows\n",
+        est.merge_fraction * 100.0,
+        est.measured_insts,
+        est.measured_cycles
+    );
 }
 
 fn print_human(app: &App, level: &str, r: &SimResult) {

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod sample;
 pub mod sweep;
 
 use mmt_sim::{MmtLevel, RunSpec, SimConfig, SimResult, Simulator};

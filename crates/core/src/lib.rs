@@ -49,18 +49,23 @@
 
 pub mod audit;
 pub mod config;
+pub mod ffwd;
 pub mod hw_cost;
 pub mod itid;
 pub mod lvip;
 pub mod pipeline;
 pub mod rst;
+pub mod snapshot;
 pub mod split;
 pub mod stats;
 
 pub use audit::MergeEvent;
 pub use config::{FetchStyle, MmtLevel, SimConfig};
+pub use ffwd::Ffwd;
 pub use itid::Itid;
 pub use lvip::Lvip;
+pub use mmt_mem::MemoryHierarchy;
 pub use mmt_obs::{Trace, TraceConfig};
-pub use pipeline::{RunSpec, SimError, SimResult, Simulator};
+pub use pipeline::{Checkpoint, RunSpec, SimError, SimResult, Simulator};
+pub use snapshot::{ArchState, MemArch, ThreadArch};
 pub use stats::{EnergyEvents, FetchModeCounts, IdentityCounts, PcCounters, SimStats};

@@ -67,6 +67,28 @@ impl Lvip {
         }
     }
 
+    /// The learned table contents (slot -> remembered mismatching load
+    /// PC), for checkpointing warm predictor state.
+    pub fn entries(&self) -> &[Option<u64>] {
+        &self.entries
+    }
+
+    /// Overwrite the table contents from a checkpoint. The lifetime
+    /// lookup/mispredict counters are *not* restored — a resumed run
+    /// reports statistics for the resumed portion only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` does not match the configured table size.
+    pub fn restore_entries(&mut self, entries: &[Option<u64>]) {
+        assert_eq!(
+            entries.len(),
+            self.entries.len(),
+            "LVIP snapshot size mismatch"
+        );
+        self.entries.copy_from_slice(entries);
+    }
+
     /// Total predictions made.
     pub fn lookup_count(&self) -> u64 {
         self.lookups

@@ -203,6 +203,32 @@ impl RegSharingTable {
         e.by_merge |= bit;
     }
 
+    /// Raw `(shared, by_merge)` pair-bit bytes per architected register,
+    /// for checkpointing warm sharing state.
+    pub fn entries_raw(&self) -> [(u8, u8); NUM_REGS] {
+        let mut out = [(0u8, 0u8); NUM_REGS];
+        for (o, e) in out.iter_mut().zip(&self.entries) {
+            *o = (e.shared, e.by_merge);
+        }
+        out
+    }
+
+    /// Overwrite the table from checkpointed raw entries (the inverse of
+    /// [`Self::entries_raw`]). Lifetime update/merge counters are *not*
+    /// restored — a resumed run reports statistics for the resumed
+    /// portion only.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if a restored entry would fail [`Self::audit`].
+    pub fn restore_raw(&mut self, raw: &[(u8, u8); NUM_REGS]) {
+        for (e, &(shared, by_merge)) in self.entries.iter_mut().zip(raw) {
+            e.shared = shared;
+            e.by_merge = by_merge;
+        }
+        debug_assert!(self.audit().is_ok(), "restored RST fails audit");
+    }
+
     /// Number of destination updates performed (energy accounting: the
     /// RST update logic runs for every renamed instruction).
     pub fn update_count(&self) -> u64 {

@@ -1,0 +1,302 @@
+//! Two-speed simulation equivalence suite (DESIGN.md §14).
+//!
+//! Three contracts are exercised here, each differential:
+//!
+//! 1. **Serde round-trip** (proptest): `ArchState -> JSON -> ArchState`
+//!    is the identity, including full-width `u64` payloads the vendored
+//!    f64-based JSON reader would otherwise round.
+//! 2. **Checkpoint/restore bit-identity**: a detailed run checkpointed at
+//!    cycle N and resumed must produce *bit-identical* `SimStats`, final
+//!    registers, and merge log vs the uninterrupted run — across the
+//!    full 16-app suite at 2 and 4 threads.
+//! 3. **Mode handoff**: the fast-forward executor run from the same
+//!    initial state lands on exactly the detailed model's final
+//!    architectural digest, and a detailed run resumed from a
+//!    JSON-round-tripped mid-run `ArchState` finishes at that digest
+//!    too (the architectural outcome is mode-independent).
+
+use mmt_isa::reg::NUM_REGS;
+use mmt_isa::MemSharing;
+use mmt_sim::snapshot::{ArchState, MemArch};
+use mmt_sim::{Ffwd, MmtLevel, RunSpec, SimConfig, SimResult, Simulator};
+use mmt_workloads::{all_apps, WorkloadInstance};
+use proptest::prelude::*;
+
+/// Test scale divisor (matches the bench crate's smoke scale).
+const SCALE: u64 = 16;
+
+/// Cycle at which the mid-run checkpoint is captured.
+const CKPT_CYCLE: u64 = 500;
+
+fn to_spec(w: WorkloadInstance) -> RunSpec {
+    RunSpec {
+        program: w.program,
+        sharing: w.sharing,
+        memories: w.memories,
+        threads: w.threads,
+    }
+}
+
+fn cfg_for(threads: usize) -> SimConfig {
+    let mut cfg = SimConfig::paper_with(threads, MmtLevel::Fxr);
+    cfg.record_merge_log = true;
+    cfg
+}
+
+/// Drive a simulator to completion, returning the final architectural
+/// state (captured at the last fetch boundary) alongside the result.
+fn run_stepped(mut sim: Simulator) -> (SimResult, ArchState) {
+    while !sim.finished() {
+        sim.step_cycle().expect("workload terminates");
+    }
+    let arch = sim.arch_state();
+    (sim.finish(), arch)
+}
+
+fn assert_results_identical(a: &SimResult, b: &SimResult, label: &str) {
+    assert_eq!(
+        format!("{:?}", a.stats),
+        format!("{:?}", b.stats),
+        "{label}: SimStats diverged"
+    );
+    assert_eq!(a.final_regs, b.final_regs, "{label}: final registers");
+    assert_eq!(a.merge_log, b.merge_log, "{label}: merge log");
+}
+
+/// Contract 2: checkpoint at cycle N, restore, run both to the end —
+/// every observable output must be bit-identical. The uninterrupted run
+/// *is* the checkpointed simulator continued (checkpointing must not
+/// perturb it), so each app costs one full run plus one resumed tail.
+#[test]
+fn restore_at_cycle_n_is_bit_identical_across_suite() {
+    for app in all_apps() {
+        for threads in [2usize, 4] {
+            let w = app.instance(threads, SCALE);
+            let name = w.name.clone();
+            let mut sim = Simulator::new(cfg_for(threads), to_spec(w)).expect("valid spec");
+            let mut ckpt = None;
+            while !sim.finished() {
+                if sim.now() == CKPT_CYCLE {
+                    ckpt = Some(sim.checkpoint().expect("untraced run checkpoints"));
+                }
+                sim.step_cycle().expect("workload terminates");
+            }
+            let uninterrupted = sim.finish();
+            let ckpt =
+                ckpt.unwrap_or_else(|| panic!("{name} @ {threads}t finished before {CKPT_CYCLE}"));
+            assert_eq!(ckpt.cycle(), CKPT_CYCLE);
+
+            let mut resumed = ckpt.restore();
+            while !resumed.finished() {
+                resumed.step_cycle().expect("resumed run terminates");
+            }
+            let resumed = resumed.finish();
+            assert_results_identical(
+                &uninterrupted,
+                &resumed,
+                &format!("{name} @ {threads} threads"),
+            );
+        }
+    }
+}
+
+/// Contract 3a: the block-dispatch executor reaches exactly the detailed
+/// model's final architectural digest (registers, PCs, retired counts,
+/// memory images) from the same initial state. One multi-threaded and
+/// one multi-execution app at both thread counts; the full 16-app grid
+/// runs in the `mmtffwd` CI gate at release speed.
+#[test]
+fn ffwd_matches_detailed_architectural_digest() {
+    for name in ["fft", "ammp"] {
+        for threads in [2usize, 4] {
+            let app = mmt_workloads::app_by_name(name).expect("known app");
+            let spec = to_spec(app.instance(threads, SCALE));
+            let ffwd = Ffwd::new(&spec.program);
+            let mut fast = spec.initial_arch_state();
+            ffwd.run_to_halt(&spec.program, &mut fast, u64::MAX)
+                .expect("ffwd terminates");
+
+            let sim = Simulator::new(cfg_for(threads), spec).expect("valid spec");
+            let (_, detailed) = run_stepped(sim);
+            assert_eq!(
+                fast.digest(),
+                detailed.digest(),
+                "{name} @ {threads} threads: ffwd and detailed disagree"
+            );
+        }
+    }
+}
+
+/// Contract 3b: a detailed run resumed from a *JSON-round-tripped*
+/// mid-run snapshot converges to the uninterrupted run's architectural
+/// digest (timing stats legitimately differ — the resumed pipeline
+/// restarts cold — but the architecture cannot).
+#[test]
+fn resume_from_json_archstate_converges_architecturally() {
+    for name in ["fft", "ammp"] {
+        let threads = 2;
+        let app = mmt_workloads::app_by_name(name).expect("known app");
+        let spec = to_spec(app.instance(threads, SCALE));
+        let program = spec.program.clone();
+
+        let mut sim = Simulator::new(cfg_for(threads), spec.clone()).expect("valid spec");
+        let mut snapshot = None;
+        while !sim.finished() {
+            if sim.now() == CKPT_CYCLE {
+                snapshot = Some(sim.arch_state());
+            }
+            sim.step_cycle().expect("workload terminates");
+        }
+        let full_digest = sim.arch_state().digest();
+        let snapshot = snapshot.expect("ran past the snapshot cycle");
+
+        let restored =
+            ArchState::from_json(&snapshot.to_json()).expect("snapshot JSON parses back");
+        assert_eq!(snapshot, restored, "{name}: JSON round-trip");
+
+        let resumed = Simulator::from_arch(cfg_for(threads), program, &restored)
+            .expect("resume accepts the snapshot");
+        let (_, arch) = run_stepped(resumed);
+        assert_eq!(
+            arch.digest(),
+            full_digest,
+            "{name}: resumed run diverged architecturally"
+        );
+    }
+}
+
+/// Contract 3c: fast-forwarding the prefix and handing off to the
+/// detailed model mid-run also converges — the direction the sampling
+/// runner actually uses.
+#[test]
+fn ffwd_prefix_then_detailed_tail_converges() {
+    let app = mmt_workloads::app_by_name("fft").expect("known app");
+    let threads = 2;
+    let spec = to_spec(app.instance(threads, SCALE));
+
+    let sim = Simulator::new(cfg_for(threads), spec.clone()).expect("valid spec");
+    let (_, golden) = run_stepped(sim);
+
+    let ffwd = Ffwd::new(&spec.program);
+    let mut state = spec.initial_arch_state();
+    ffwd.advance(&spec.program, &mut state, 2_000)
+        .expect("prefix executes");
+    let tail = Simulator::from_arch(cfg_for(threads), spec.program.clone(), &state)
+        .expect("handoff accepted");
+    let (_, arch) = run_stepped(tail);
+    assert_eq!(
+        arch.digest(),
+        golden.digest(),
+        "ffwd prefix + detailed tail diverged from all-detailed run"
+    );
+}
+
+fn arbitrary_state() -> impl Strategy<Value = ArchState> {
+    (
+        any::<u64>(),
+        prop::collection::vec(any::<u64>(), 0..40),
+        prop::collection::vec(any::<u64>(), 0..40),
+        1u64..5,
+        prop::option::of(prop::collection::vec(any::<u64>(), 8usize..9)),
+    )
+        .prop_map(|(seed, regs_pool, words, nthreads, lvip_pcs)| {
+            let nthreads = nthreads as usize;
+            let mut s = ArchState::initial(
+                nthreads,
+                MemSharing::PerThread,
+                &(0..nthreads).collect::<Vec<_>>(),
+                1 << 20,
+            );
+            s.cycle = seed;
+            s.config_digest = seed.rotate_left(17);
+            for (i, t) in s.threads.iter_mut().enumerate() {
+                for (r, v) in regs_pool.iter().enumerate() {
+                    if r + 1 < NUM_REGS {
+                        t.regs[r + 1] = v.wrapping_add(i as u64);
+                    }
+                }
+                t.pc = seed % 1000;
+                t.halted = seed & (1 << i) != 0;
+                t.retired = seed.wrapping_mul(i as u64 + 1);
+            }
+            s.memories = (0..nthreads)
+                .map(|id| {
+                    let mut m = MemArch {
+                        id,
+                        limit: 1 << 20,
+                        words: Vec::new(),
+                    };
+                    for (a, &w) in words.iter().enumerate() {
+                        m.store((a as u64 * 37 + id as u64) % (1 << 20), w);
+                    }
+                    m
+                })
+                .collect();
+            s.rst = Some({
+                let mut r = [(0u8, 0u8); NUM_REGS];
+                for (i, e) in r.iter_mut().enumerate() {
+                    let bits = (seed >> (i % 48)) as u8 & 0x3f;
+                    *e = (bits, bits & (seed as u8 & 0x3f));
+                }
+                r
+            });
+            s.lvip = lvip_pcs.map(|pcs| {
+                let mut t = vec![None; 64];
+                for (i, pc) in pcs.into_iter().enumerate() {
+                    t[(pc % 64) as usize] = Some(pc);
+                    t[i] = Some(pc);
+                }
+                t
+            });
+            s
+        })
+}
+
+proptest! {
+    /// Contract 1: serialization is lossless for arbitrary states,
+    /// including u64 values beyond f64's 2^53 integer range.
+    #[test]
+    fn archstate_json_round_trips(state in arbitrary_state()) {
+        let text = state.to_json();
+        let back = ArchState::from_json(&text);
+        prop_assert!(back.is_ok(), "parse failed: {:?}", back.err());
+        let back = back.unwrap();
+        prop_assert_eq!(&state, &back);
+        prop_assert_eq!(state.digest(), back.digest());
+    }
+}
+
+/// Checkpointing under tracing is refused (the event ring is not
+/// checkpointable), with a clear error rather than silent state loss.
+#[test]
+fn checkpoint_refuses_tracing_runs() {
+    let app = mmt_workloads::app_by_name("fft").expect("known app");
+    let mut cfg = cfg_for(2);
+    cfg.trace = Some(mmt_sim::TraceConfig::default());
+    let sim = Simulator::new(cfg, to_spec(app.instance(2, SCALE))).expect("valid spec");
+    let err = sim.checkpoint().expect_err("tracing runs must refuse");
+    assert!(matches!(err, mmt_sim::SimError::BadConfig(_)));
+}
+
+/// Warm-state transfer: an `ArchState` captured from a run carries RST
+/// and LVIP payloads, and resuming applies the RST verbatim.
+#[test]
+fn arch_state_carries_warm_predictor_state() {
+    let app = mmt_workloads::app_by_name("equake").expect("known app");
+    let threads = 2;
+    let spec = to_spec(app.instance(threads, SCALE));
+    let mut sim = Simulator::new(cfg_for(threads), spec.clone()).expect("valid spec");
+    for _ in 0..2_000 {
+        if sim.finished() {
+            break;
+        }
+        sim.step_cycle().expect("runs");
+    }
+    let state = sim.arch_state();
+    let rst = state.rst.expect("detailed capture includes RST");
+    assert!(state.lvip.is_some(), "detailed capture includes LVIP");
+
+    let resumed =
+        Simulator::from_arch(cfg_for(threads), spec.program, &state).expect("resume accepted");
+    assert_eq!(resumed.arch_state().rst.unwrap(), rst);
+}

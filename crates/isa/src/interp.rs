@@ -86,6 +86,24 @@ impl Memory {
         self.id
     }
 
+    /// The configured word limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// The backed words (index = word address; everything past the end
+    /// reads as zero). The raw image behind checkpointing and state
+    /// digests.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a memory from a checkpointed image. `words` is the dense
+    /// image starting at address 0; addresses past its end read as zero.
+    pub fn from_words(id: usize, limit: u64, words: Vec<u64>) -> Memory {
+        Memory { words, limit, id }
+    }
+
     /// Read the word at `addr`; untouched memory reads as zero.
     ///
     /// # Errors
@@ -274,6 +292,29 @@ impl Machine {
     /// Dynamic instructions executed so far.
     pub fn retired(&self) -> u64 {
         self.retired
+    }
+
+    /// Rebuild a machine from checkpointed architectural state. The
+    /// inverse of reading [`Machine::regs`] / [`Machine::pc`] /
+    /// [`Machine::halted`] / [`Machine::retired`]: a machine built from
+    /// a snapshot of another machine evolves identically from that point
+    /// (the interpreter holds no other state).
+    pub fn from_parts(
+        tid: usize,
+        regs: [u64; NUM_REGS],
+        pc: u64,
+        halted: bool,
+        retired: u64,
+    ) -> Machine {
+        let mut m = Machine {
+            regs,
+            pc,
+            tid,
+            halted,
+            retired,
+        };
+        m.regs[0] = 0; // r0 stays hardwired even if the snapshot lied
+        m
     }
 
     /// Execute one instruction.

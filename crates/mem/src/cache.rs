@@ -214,6 +214,44 @@ impl Cache {
         }
     }
 
+    /// Touch `addr` for *functional warming*: update residency and LRU
+    /// recency exactly like [`Cache::access`], but count no statistics
+    /// and leave no in-flight timing (a warmed line is immediately
+    /// ready). Returns whether the line was already resident. Used by
+    /// the sampled-run fast-forward warmer (DESIGN.md §14).
+    pub fn warm(&mut self, addr: u64) -> bool {
+        self.tick = self.tick.wrapping_add(1);
+        let line_addr = addr >> self.line_shift;
+        let set_idx = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_mask.count_ones();
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            way.last_used = self.tick;
+            return true;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| (l.valid, l.last_used))
+            .expect("associativity is non-zero");
+        victim.tag = tag;
+        victim.valid = true;
+        victim.last_used = self.tick;
+        victim.ready_at = 0;
+        false
+    }
+
+    /// Make every resident line immediately available, dropping
+    /// in-flight fill timing. Needed when a warmed cache crosses a mode
+    /// switch where the cycle clock restarts (absolute `ready_at` times
+    /// from the old clock would read as fills far in the future).
+    pub fn quiesce(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                line.ready_at = 0;
+            }
+        }
+    }
+
     /// Check residency without updating LRU state or statistics.
     pub fn probe(&self, addr: u64) -> bool {
         let line_addr = addr >> self.line_shift;

@@ -220,6 +220,49 @@ impl MemoryHierarchy {
         }
     }
 
+    /// Functionally warm the instruction line containing instruction
+    /// index `pc`: residency and LRU movement through L1I/L2 (and the
+    /// next-line prefetch's content effect) with no latency, statistic,
+    /// or MSHR side effects. The sampled-run fast-forward executor calls
+    /// this so detailed windows resume with the cache contents a
+    /// full-detail run would have had (DESIGN.md §14).
+    pub fn warm_inst(&mut self, space: usize, pc: u64) {
+        let addr = phys_addr(space, pc);
+        if !self.l1i.warm(addr) && !self.l2.warm(addr) {
+            self.warm_prefetch_next(addr);
+        }
+    }
+
+    /// Functionally warm the data line holding word `word_addr` (loads
+    /// and stores alike — the demand path is write-allocate).
+    pub fn warm_data(&mut self, space: usize, word_addr: u64) {
+        let addr = phys_addr(space, word_addr);
+        if !self.l1d.warm(addr) && !self.l2.warm(addr) {
+            self.warm_prefetch_next(addr);
+        }
+    }
+
+    /// Content effect of [`MemoryHierarchy::prefetch_next`] on the warm
+    /// path (no counters, no timing).
+    fn warm_prefetch_next(&mut self, addr: u64) {
+        if self.cfg.prefetch {
+            let next = addr + self.cfg.l2.line_bytes;
+            if !self.l2.probe(next) {
+                self.l2.warm(next);
+            }
+        }
+    }
+
+    /// Make every resident line immediately available and drop
+    /// outstanding-miss timing, so the hierarchy can cross a mode switch
+    /// where the cycle clock restarts. Statistics are kept.
+    pub fn quiesce(&mut self) {
+        self.l1i.quiesce();
+        self.l1d.quiesce();
+        self.l2.quiesce();
+        self.mshrs.drain();
+    }
+
     /// Instruction-cache statistics.
     pub fn l1i_stats(&self) -> CacheStats {
         self.l1i.stats()

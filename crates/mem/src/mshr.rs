@@ -76,6 +76,13 @@ impl MshrFile {
         self.in_flight.iter().filter(|&&t| t > now).count()
     }
 
+    /// Drop all in-flight completion times, keeping the counters.
+    /// Used when the hierarchy crosses a mode switch where the cycle
+    /// clock restarts (stale absolute times would read as busy MSHRs).
+    pub fn drain(&mut self) {
+        self.in_flight.clear();
+    }
+
     /// Misses that were delayed by MSHR exhaustion.
     pub fn stall_count(&self) -> u64 {
         self.stalled
