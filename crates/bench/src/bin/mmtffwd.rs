@@ -22,6 +22,7 @@
 //! cargo run --release -p mmt-bench --bin mmtffwd -- --scale 16 --jobs 4
 //! ```
 
+use mmt_bench::cli::{fail_run, fail_usage, format_json_arg};
 use mmt_bench::sample::{run_sampled, SampleConfig};
 use mmt_bench::sweep::{jobs_arg, run_parallel, write_report};
 use mmt_bench::{arg_value, to_run_spec, FULL_SCALE};
@@ -106,9 +107,11 @@ struct FfwdReport {
 /// Detailed run driven cycle-by-cycle so the final architectural digest
 /// can be read before the stats fold; returns `(stats, digest)`.
 fn detailed_golden(cfg: SimConfig, spec: RunSpec) -> (SimStats, u64) {
-    let mut sim = Simulator::new(cfg, spec).expect("valid config and spec");
+    let mut sim = Simulator::new(cfg, spec)
+        .unwrap_or_else(|e| fail_run(false, format!("invalid config/spec: {e}")));
     while !sim.finished() {
-        sim.step_cycle().expect("suite workloads terminate");
+        sim.step_cycle()
+            .unwrap_or_else(|e| fail_run(false, format!("simulation failed: {e}")));
     }
     let digest = sim.arch_state().digest();
     (sim.finish().stats, digest)
@@ -120,7 +123,7 @@ fn ffwd_digest(spec: &RunSpec) -> (u64, u64, f64) {
     let start = Instant::now();
     let insts = ffwd
         .run_to_halt(&spec.program, &mut state, u64::MAX)
-        .expect("suite workloads terminate");
+        .unwrap_or_else(|e| fail_run(false, format!("fast-forward failed: {e}")));
     let wall = start.elapsed().as_secs_f64();
     (state.digest(), insts, insts as f64 / wall.max(1e-9) / 1e6)
 }
@@ -132,11 +135,20 @@ fn merge_fraction(stats: &SimStats) -> f64 {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    // Only failures are emitted as JSON objects; the success output
+    // stays the markdown table CI renders.
+    let json = format_json_arg(&args).unwrap_or_else(|e| fail_usage(false, e));
     let scale: u64 = arg_value(&args, "--scale")
-        .map(|v| v.parse().expect("--scale takes a number"))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail_usage(json, "--scale takes a number"))
+        })
         .unwrap_or(FULL_SCALE);
     let reps: usize = arg_value(&args, "--reps")
-        .map(|v| v.parse().expect("--reps takes a number"))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail_usage(json, "--reps takes a number"))
+        })
         .unwrap_or(3);
     let jobs = jobs_arg(&args);
     let apps = all_apps();
@@ -178,9 +190,9 @@ fn main() {
         let spec = to_run_spec(app.instance(2, scale));
         let base_cfg = SimConfig::paper_with(2, MmtLevel::Base);
         let golden_base = Simulator::new(base_cfg.clone(), spec.clone())
-            .expect("valid config and spec")
+            .unwrap_or_else(|e| fail_run(false, format!("{}: invalid config/spec: {e}", app.name)))
             .run()
-            .expect("suite workloads terminate")
+            .unwrap_or_else(|e| fail_run(false, format!("{}: {e}", app.name)))
             .stats;
 
         let fxr_cfg = SimConfig::paper_with(2, MmtLevel::Fxr);
@@ -224,9 +236,11 @@ fn main() {
         for threads in [2usize, 4] {
             let cfg = SimConfig::paper_with(threads, MmtLevel::Fxr);
             let spec = to_run_spec(smoke.instance(threads, 1));
-            let sim = Simulator::new(cfg, spec.clone()).expect("valid config and spec");
+            let sim = Simulator::new(cfg, spec.clone())
+                .unwrap_or_else(|e| fail_run(false, format!("invalid config/spec: {e}")));
             let start = Instant::now();
-            sim.run().expect("perfsmoke workload terminates");
+            sim.run()
+                .unwrap_or_else(|e| fail_run(false, format!("perfsmoke: {e}")));
             detailed_wall += start.elapsed().as_secs_f64() * 1e3;
 
             let ffwd = Ffwd::new(&spec.program);
@@ -234,7 +248,7 @@ fn main() {
             let start = Instant::now();
             ffwd_insts += ffwd
                 .run_to_halt(&spec.program, &mut state, u64::MAX)
-                .expect("perfsmoke workload terminates");
+                .unwrap_or_else(|e| fail_run(false, format!("fast-forward failed: {e}")));
             ffwd_wall += start.elapsed().as_secs_f64() * 1e3;
         }
         throughput.push(ThroughputRep {
@@ -338,11 +352,11 @@ fn main() {
         );
     }
 
-    let path = write_report("ffwd", &report).expect("write results/BENCH_ffwd.json");
+    let path = write_report("ffwd", &report)
+        .unwrap_or_else(|e| fail_run(json, format!("cannot write report: {e}")));
     println!("\nwrote {}", path.display());
     if !pass {
-        eprintln!("mmtffwd: gate FAILED");
-        std::process::exit(1);
+        fail_run(json, "mmtffwd: gate FAILED");
     }
 }
 

@@ -48,6 +48,7 @@
 //! 1 soundness violations, 2 usage errors.
 
 use mmt_analysis::{predict_lvip, AccessClass, MemDepAnalysis};
+use mmt_bench::cli::{fail_run, fail_usage, format_json_arg};
 use mmt_bench::sweep::{jobs_arg, run_parallel, write_report};
 use mmt_bench::{arg_value, to_run_spec};
 use mmt_isa::interp::{Machine, Memory};
@@ -91,6 +92,9 @@ struct MemReport {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    // Only failures are emitted as JSON objects; the success output
+    // stays the markdown table CI renders.
+    let json = format_json_arg(&args).unwrap_or_else(|e| fail_usage(false, e));
     let app_name = if args.iter().any(|a| a == "--all-workloads") {
         "all".to_string()
     } else {
@@ -101,17 +105,14 @@ fn main() {
         .split(',')
         .map(|s| {
             s.trim().parse().unwrap_or_else(|_| {
-                eprintln!("--threads takes a comma-separated list like 2,4");
-                std::process::exit(2);
+                fail_usage(json, "--threads takes a comma-separated list like 2,4")
             })
         })
         .collect();
     let scale: u64 = arg_value(&args, "--scale")
         .map(|v| {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("--scale takes a number");
-                std::process::exit(2);
-            })
+            v.parse()
+                .unwrap_or_else(|_| fail_usage(json, "--scale takes a number"))
         })
         .unwrap_or(16);
     let jobs = jobs_arg(&args);
@@ -120,15 +121,17 @@ fn main() {
         all_apps()
     } else {
         vec![app_by_name(&app_name).unwrap_or_else(|| {
-            eprintln!(
-                "unknown app '{app_name}'; known: {}",
-                all_apps()
-                    .iter()
-                    .map(|a| a.name)
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            );
-            std::process::exit(2);
+            fail_usage(
+                json,
+                format!(
+                    "unknown app '{app_name}'; known: {}",
+                    all_apps()
+                        .iter()
+                        .map(|a| a.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            )
         })]
     };
 
@@ -183,14 +186,10 @@ fn main() {
     let report = MemReport { scale, rows };
     match write_report("memdep", &report) {
         Ok(path) => println!("\nwrote {}", path.display()),
-        Err(e) => {
-            eprintln!("cannot write report: {e}");
-            std::process::exit(2);
-        }
+        Err(e) => fail_run(json, format!("cannot write report: {e}")),
     }
     if violations > 0 {
-        eprintln!("mmtmem: {violations} soundness violation(s)");
-        std::process::exit(1);
+        fail_run(json, format!("mmtmem: {violations} soundness violation(s)"));
     }
     println!("mmtmem: all checks passed");
 }
@@ -238,9 +237,9 @@ fn validate_case(app: &App, threads: usize, scale: u64) -> MemRow {
     let mut cfg = SimConfig::paper_with(threads, MmtLevel::Fxr);
     cfg.record_pc_profile = true;
     let result = Simulator::new(cfg, to_run_spec(w))
-        .expect("valid config and spec")
+        .unwrap_or_else(|e| fail_run(false, format!("{}: invalid config/spec: {e}", app.name)))
         .run()
-        .expect("workloads terminate");
+        .unwrap_or_else(|e| fail_run(false, format!("{}: {e}", app.name)));
 
     let mut mem_merged = 0u64;
     let mut mem_addr_diverged = 0u64;

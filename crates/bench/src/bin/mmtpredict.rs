@@ -35,6 +35,7 @@
 //! 1 soundness/bracket violations, 2 usage errors.
 
 use mmt_analysis::{predict, MergeClass, Oracle, Prediction};
+use mmt_bench::cli::{fail_run, fail_usage, format_json_arg};
 use mmt_bench::sweep::{jobs_arg, run_parallel, write_report};
 use mmt_bench::{arg_value, to_run_spec};
 use mmt_sim::{MmtLevel, SimConfig, Simulator};
@@ -73,6 +74,9 @@ struct PredictReport {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    // Only failures are emitted as JSON objects; the success output
+    // stays the markdown table CI renders.
+    let json = format_json_arg(&args).unwrap_or_else(|e| fail_usage(false, e));
     let app_name = if args.iter().any(|a| a == "--all-workloads") {
         "all".to_string()
     } else {
@@ -83,17 +87,14 @@ fn main() {
         .split(',')
         .map(|s| {
             s.trim().parse().unwrap_or_else(|_| {
-                eprintln!("--threads takes a comma-separated list like 2,4");
-                std::process::exit(2);
+                fail_usage(json, "--threads takes a comma-separated list like 2,4")
             })
         })
         .collect();
     let scale: u64 = arg_value(&args, "--scale")
         .map(|v| {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("--scale takes a number");
-                std::process::exit(2);
-            })
+            v.parse()
+                .unwrap_or_else(|_| fail_usage(json, "--scale takes a number"))
         })
         .unwrap_or(16);
     let jobs = jobs_arg(&args);
@@ -102,15 +103,17 @@ fn main() {
         all_apps()
     } else {
         vec![app_by_name(&app_name).unwrap_or_else(|| {
-            eprintln!(
-                "unknown app '{app_name}'; known: {}",
-                all_apps()
-                    .iter()
-                    .map(|a| a.name)
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            );
-            std::process::exit(2);
+            fail_usage(
+                json,
+                format!(
+                    "unknown app '{app_name}'; known: {}",
+                    all_apps()
+                        .iter()
+                        .map(|a| a.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            )
         })]
     };
 
@@ -171,14 +174,13 @@ fn main() {
     let report = PredictReport { scale, rows };
     match write_report("predict", &report) {
         Ok(path) => println!("\nwrote {}", path.display()),
-        Err(e) => {
-            eprintln!("cannot write report: {e}");
-            std::process::exit(2);
-        }
+        Err(e) => fail_run(json, format!("cannot write report: {e}")),
     }
     if violations > 0 || report.rows.iter().any(|r| !r.bracket_ok) {
-        eprintln!("mmtpredict: {violations} soundness violation(s)");
-        std::process::exit(1);
+        fail_run(
+            json,
+            format!("mmtpredict: {violations} soundness violation(s)"),
+        );
     }
     println!("mmtpredict: all checks passed");
 }
@@ -195,9 +197,9 @@ fn validate_case(app: &App, threads: usize, scale: u64) -> PredictRow {
     cfg.record_merge_log = true;
     cfg.record_pc_profile = true;
     let result = Simulator::new(cfg, to_run_spec(w))
-        .expect("valid config and spec")
+        .unwrap_or_else(|e| fail_run(false, format!("{}: invalid config/spec: {e}", app.name)))
         .run()
-        .expect("workloads terminate");
+        .unwrap_or_else(|e| fail_run(false, format!("{}: {e}", app.name)));
 
     let mut violations = Vec::new();
     match oracle.check(&result.merge_log) {

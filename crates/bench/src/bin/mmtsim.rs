@@ -40,6 +40,7 @@
 //! | `--sample-warmup N`   | `500`  | detailed-but-unmeasured instructions per window |
 //! | `--sample-measure N`  | `1500` | measured instructions per window |
 
+use mmt_bench::cli::{fail_run, fail_usage, format_json_arg};
 use mmt_bench::sample::{run_sampled, SampleConfig};
 use mmt_bench::{arg_value, to_run_spec, FULL_SCALE};
 use mmt_energy::EnergyModel;
@@ -50,49 +51,49 @@ use mmt_workloads::{all_apps, app_by_name, App, WorkloadInstance};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    // `--json` predates `--format` and stays as an alias.
+    let json = format_json_arg(&args).unwrap_or_else(|e| fail_usage(false, e));
     if let Some(path) = arg_value(&args, "--asm") {
-        run_asm(&path, &args);
+        run_asm(&path, &args, json);
         return;
     }
     let app_name = arg_value(&args, "--app").unwrap_or_else(|| "swaptions".into());
     let level_name = arg_value(&args, "--level").unwrap_or_else(|| "fxr".into());
     let threads: usize = arg_value(&args, "--threads")
-        .map(|v| v.parse().expect("--threads takes 1..=4"))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail_usage(json, "--threads takes 1..=4"))
+        })
         .unwrap_or(2);
     let scale: u64 = arg_value(&args, "--scale")
-        .map(|v| v.parse().expect("--scale takes a number"))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail_usage(json, "--scale takes a number"))
+        })
         .unwrap_or(FULL_SCALE);
-    let json = match arg_value(&args, "--format").as_deref() {
-        Some("json") => true,
-        Some("text") => false,
-        Some(other) => {
-            eprintln!("unknown format '{other}' (text|json)");
-            std::process::exit(2);
-        }
-        // `--json` predates `--format` and stays as an alias.
-        None => args.iter().any(|a| a == "--json"),
-    };
 
     let apps: Vec<App> = if app_name == "all" {
         all_apps()
     } else {
         vec![app_by_name(&app_name).unwrap_or_else(|| {
-            eprintln!(
-                "unknown app '{app_name}'; known: {}",
-                all_apps()
-                    .iter()
-                    .map(|a| a.name)
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            );
-            std::process::exit(2);
+            fail_usage(
+                json,
+                format!(
+                    "unknown app '{app_name}'; known: {}",
+                    all_apps()
+                        .iter()
+                        .map(|a| a.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            )
         })]
     };
 
     if args.iter().any(|a| a == "--sample") {
-        let sample = sample_config(&args);
+        let sample = sample_config(&args, json);
         for app in &apps {
-            let (cfg, w, level_label) = configure(app, &level_name, threads, scale, &args);
+            let (cfg, w, level_label) = configure(app, &level_name, threads, scale, &args, json);
             let est = run_sampled(&cfg, &to_run_spec(w), &sample);
             if json {
                 println!(
@@ -109,7 +110,7 @@ fn main() {
     }
 
     for app in &apps {
-        let (result, level_label) = run_one(app, &level_name, threads, scale, &args);
+        let (result, level_label) = run_one(app, &level_name, threads, scale, &args, json);
         if json {
             println!(
                 "{{\"app\":{:?},\"level\":{:?},\"threads\":{threads},\"stats\":{}}}",
@@ -123,43 +124,45 @@ fn main() {
     }
 }
 
-fn sample_config(args: &[String]) -> SampleConfig {
+fn sample_config(args: &[String], json: bool) -> SampleConfig {
     let mut sample = SampleConfig::default();
     if let Some(v) = arg_value(args, "--sample-skip") {
-        sample.skip = v.parse().expect("--sample-skip takes a number");
+        sample.skip = v
+            .parse()
+            .unwrap_or_else(|_| fail_usage(json, "--sample-skip takes a number"));
     }
     if let Some(v) = arg_value(args, "--sample-warmup") {
-        sample.warmup = v.parse().expect("--sample-warmup takes a number");
+        sample.warmup = v
+            .parse()
+            .unwrap_or_else(|_| fail_usage(json, "--sample-warmup takes a number"));
     }
     if let Some(v) = arg_value(args, "--sample-measure") {
-        sample.measure = v.parse().expect("--sample-measure takes a number");
+        sample.measure = v
+            .parse()
+            .unwrap_or_else(|_| fail_usage(json, "--sample-measure takes a number"));
     }
     sample
 }
 
 /// Simulate a hand-written assembly file (empty initial memories).
-fn run_asm(path: &str, args: &[String]) {
+fn run_asm(path: &str, args: &[String], json: bool) {
     use mmt_isa::interp::Memory;
     use mmt_isa::MemSharing;
 
-    let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        std::process::exit(2);
-    });
-    let program = mmt_isa::parse::parse(&source).unwrap_or_else(|e| {
-        eprintln!("{path}: {e}");
-        std::process::exit(2);
-    });
+    let source = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail_usage(json, format!("cannot read {path}: {e}")));
+    let program =
+        mmt_isa::parse::parse(&source).unwrap_or_else(|e| fail_usage(json, format!("{path}: {e}")));
     let threads: usize = arg_value(args, "--threads")
-        .map(|v| v.parse().expect("--threads takes 1..=4"))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail_usage(json, "--threads takes 1..=4"))
+        })
         .unwrap_or(2);
     let sharing = match arg_value(args, "--sharing").as_deref() {
         None | Some("mt") => MemSharing::Shared,
         Some("me") => MemSharing::PerThread,
-        Some(other) => {
-            eprintln!("unknown sharing '{other}' (mt|me)");
-            std::process::exit(2);
-        }
+        Some(other) => fail_usage(json, format!("unknown sharing '{other}' (mt|me)")),
     };
     let memories = match sharing {
         MemSharing::Shared => vec![Memory::new(0)],
@@ -170,10 +173,7 @@ fn run_asm(path: &str, args: &[String]) {
         Some("f") => MmtLevel::F,
         Some("fx") => MmtLevel::Fx,
         None | Some("fxr") => MmtLevel::Fxr,
-        Some(other) => {
-            eprintln!("unknown level '{other}' (base|f|fx|fxr)");
-            std::process::exit(2);
-        }
+        Some(other) => fail_usage(json, format!("unknown level '{other}' (base|f|fx|fxr)")),
     };
     let cfg = SimConfig::paper_with(threads, level);
     let result = Simulator::new(
@@ -185,12 +185,9 @@ fn run_asm(path: &str, args: &[String]) {
             threads,
         },
     )
-    .expect("valid spec")
+    .unwrap_or_else(|e| fail_usage(json, format!("invalid spec: {e}")))
     .run()
-    .unwrap_or_else(|e| {
-        eprintln!("simulation failed: {e}");
-        std::process::exit(1);
-    });
+    .unwrap_or_else(|e| fail_run(json, format!("simulation failed: {e}")));
     let fake_app = App {
         name: "custom",
         suite: mmt_workloads::Suite::Spec2000,
@@ -208,6 +205,7 @@ fn configure(
     threads: usize,
     scale: u64,
     args: &[String],
+    json: bool,
 ) -> (SimConfig, WorkloadInstance, String) {
     let (level, limit) = match level_name {
         "base" => (MmtLevel::Base, false),
@@ -215,28 +213,34 @@ fn configure(
         "fx" => (MmtLevel::Fx, false),
         "fxr" => (MmtLevel::Fxr, false),
         "limit" => (MmtLevel::Fxr, true),
-        other => {
-            eprintln!("unknown level '{other}' (base|f|fx|fxr|limit)");
-            std::process::exit(2);
-        }
+        other => fail_usage(
+            json,
+            format!("unknown level '{other}' (base|f|fx|fxr|limit)"),
+        ),
     };
     let mut cfg = SimConfig::paper_with(threads, level);
     if let Some(v) = arg_value(args, "--fhb") {
-        cfg.fhb_entries = v.parse().expect("--fhb takes a number");
+        cfg.fhb_entries = v
+            .parse()
+            .unwrap_or_else(|_| fail_usage(json, "--fhb takes a number"));
     }
     if let Some(v) = arg_value(args, "--ports") {
-        cfg.lsq_ports = v.parse().expect("--ports takes a number");
+        cfg.lsq_ports = v
+            .parse()
+            .unwrap_or_else(|_| fail_usage(json, "--ports takes a number"));
     }
     if let Some(v) = arg_value(args, "--width") {
-        cfg.fetch_width = v.parse().expect("--width takes a number");
+        cfg.fetch_width = v
+            .parse()
+            .unwrap_or_else(|_| fail_usage(json, "--width takes a number"));
     }
     match arg_value(args, "--fetch-style").as_deref() {
         None | Some("trace") => {}
         Some("conventional") => cfg.fetch_style = FetchStyle::Conventional,
-        Some(other) => {
-            eprintln!("unknown fetch style '{other}' (trace|conventional)");
-            std::process::exit(2);
-        }
+        Some(other) => fail_usage(
+            json,
+            format!("unknown fetch style '{other}' (trace|conventional)"),
+        ),
     }
     if args.iter().any(|a| a == "--pc-profile") {
         cfg.record_pc_profile = true;
@@ -252,10 +256,7 @@ fn configure(
             cfg.sync_policy = SyncPolicy::SoftwareHints;
             cfg.remerge_hints = w.remerge_hints.clone();
         }
-        Some(other) => {
-            eprintln!("unknown sync policy '{other}' (fhb|hints)");
-            std::process::exit(2);
-        }
+        Some(other) => fail_usage(json, format!("unknown sync policy '{other}' (fhb|hints)")),
     }
     let label = if limit {
         "limit".into()
@@ -271,37 +272,49 @@ fn run_one(
     threads: usize,
     scale: u64,
     args: &[String],
+    json: bool,
 ) -> (SimResult, String) {
-    let (cfg, w, label) = configure(app, level_name, threads, scale, args);
+    let (cfg, w, label) = configure(app, level_name, threads, scale, args, json);
 
     if let Some(path) = arg_value(args, "--resume") {
-        return (resume_run(cfg, w, &path), label);
+        return (resume_run(cfg, w, &path, json), label);
     }
     if let Some(path) = arg_value(args, "--checkpoint") {
         let at: u64 = arg_value(args, "--checkpoint-at")
-            .map(|v| v.parse().expect("--checkpoint-at takes a cycle number"))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| fail_usage(json, "--checkpoint-at takes a cycle number"))
+            })
             .unwrap_or(1000);
-        return (checkpointing_run(cfg, w, &path, at), label);
+        return (checkpointing_run(cfg, w, &path, at, json), label);
     }
 
     let result = Simulator::new(cfg, to_run_spec(w))
-        .expect("valid config and spec")
+        .unwrap_or_else(|e| fail_usage(json, format!("invalid config/spec: {e}")))
         .run()
-        .expect("workloads terminate");
+        .unwrap_or_else(|e| fail_run(json, format!("{}: {e}", app.name)));
     (result, label)
 }
 
 /// Run normally but dump the architectural state as JSON once the clock
 /// reaches `at` (or at the end, with a warning, if the run is shorter).
-fn checkpointing_run(cfg: SimConfig, w: WorkloadInstance, path: &str, at: u64) -> SimResult {
-    let mut sim = Simulator::new(cfg, to_run_spec(w)).expect("valid config and spec");
+fn checkpointing_run(
+    cfg: SimConfig,
+    w: WorkloadInstance,
+    path: &str,
+    at: u64,
+    json: bool,
+) -> SimResult {
+    let mut sim = Simulator::new(cfg, to_run_spec(w))
+        .unwrap_or_else(|e| fail_usage(json, format!("invalid config/spec: {e}")));
     let mut written = false;
     while !sim.finished() {
         if sim.now() == at {
-            write_checkpoint(&sim.arch_state(), path);
+            write_checkpoint(&sim.arch_state(), path, json);
             written = true;
         }
-        sim.step_cycle().expect("workloads terminate");
+        sim.step_cycle()
+            .unwrap_or_else(|e| fail_run(json, format!("simulation failed: {e}")));
     }
     if !written {
         eprintln!(
@@ -309,15 +322,14 @@ fn checkpointing_run(cfg: SimConfig, w: WorkloadInstance, path: &str, at: u64) -
              writing the final state",
             sim.now()
         );
-        write_checkpoint(&sim.arch_state(), path);
+        write_checkpoint(&sim.arch_state(), path, json);
     }
     sim.finish()
 }
 
-fn write_checkpoint(state: &ArchState, path: &str) {
+fn write_checkpoint(state: &ArchState, path: &str, json: bool) {
     if let Err(e) = std::fs::write(path, state.to_json() + "\n") {
-        eprintln!("cannot write checkpoint {path}: {e}");
-        std::process::exit(1);
+        fail_run(json, format!("cannot write checkpoint {path}: {e}"));
     }
     println!("checkpoint written to {path} at cycle {}", state.cycle);
 }
@@ -325,15 +337,11 @@ fn write_checkpoint(state: &ArchState, path: &str) {
 /// Resume from a `--checkpoint` JSON file. The reported stats cover the
 /// resumed portion only (the pipeline restarts empty — see DESIGN.md
 /// §14 for the handoff contract).
-fn resume_run(cfg: SimConfig, w: WorkloadInstance, path: &str) -> SimResult {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read checkpoint {path}: {e}");
-        std::process::exit(2);
-    });
-    let state = ArchState::from_json(&text).unwrap_or_else(|e| {
-        eprintln!("{path}: {e}");
-        std::process::exit(2);
-    });
+fn resume_run(cfg: SimConfig, w: WorkloadInstance, path: &str, json: bool) -> SimResult {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail_usage(json, format!("cannot read checkpoint {path}: {e}")));
+    let state =
+        ArchState::from_json(&text).unwrap_or_else(|e| fail_usage(json, format!("{path}: {e}")));
     if state.config_digest != snapshot::config_digest(&cfg) {
         eprintln!(
             "warning: checkpoint was captured under a different configuration; \
@@ -341,12 +349,9 @@ fn resume_run(cfg: SimConfig, w: WorkloadInstance, path: &str) -> SimResult {
         );
     }
     Simulator::from_arch(cfg, w.program, &state)
-        .unwrap_or_else(|e| {
-            eprintln!("cannot resume from {path}: {e}");
-            std::process::exit(2);
-        })
+        .unwrap_or_else(|e| fail_usage(json, format!("cannot resume from {path}: {e}")))
         .run()
-        .expect("workloads terminate")
+        .unwrap_or_else(|e| fail_run(json, format!("simulation failed: {e}")))
 }
 
 fn print_sampled(app: &App, level: &str, est: &mmt_bench::sample::SampledEstimate) {

@@ -1,0 +1,48 @@
+//! Shared failure conventions for the harness bins (DESIGN.md §15).
+//!
+//! Every bin distinguishes two failure classes with fixed exit codes,
+//! always reports on stderr with an `error:` prefix, and — when the
+//! caller asked for `--format json` — also emits a `{"error": ...}`
+//! object on stdout so machine consumers see the failure in-band
+//! instead of an empty stream:
+//!
+//! * **usage errors** (unknown flag values, unknown apps, unreadable
+//!   inputs): exit code 2 via [`fail_usage`];
+//! * **runtime failures** (simulator errors, failed gates, unwritable
+//!   outputs): exit code 1 via [`fail_run`].
+
+/// Exit code for malformed invocations (bad flags, unknown names).
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code for runtime failures (simulation errors, failed gates).
+pub const EXIT_RUN: i32 = 1;
+
+/// Parse `--format text|json` (and the older `--json` alias). `Err`
+/// carries a usage message for an unknown format value.
+pub fn format_json_arg(args: &[String]) -> Result<bool, String> {
+    match crate::arg_value(args, "--format").as_deref() {
+        Some("json") => Ok(true),
+        Some("text") => Ok(false),
+        Some(other) => Err(format!("unknown format '{other}' (text|json)")),
+        None => Ok(args.iter().any(|a| a == "--json")),
+    }
+}
+
+/// Report a usage error and exit 2.
+pub fn fail_usage(json: bool, message: impl AsRef<str>) -> ! {
+    fail(EXIT_USAGE, json, message.as_ref())
+}
+
+/// Report a runtime failure and exit 1.
+pub fn fail_run(json: bool, message: impl AsRef<str>) -> ! {
+    fail(EXIT_RUN, json, message.as_ref())
+}
+
+fn fail(code: i32, json: bool, message: &str) -> ! {
+    if json {
+        let mut quoted = String::new();
+        serde::Serialize::serialize_json(message, &mut quoted);
+        println!("{{\"error\":{quoted}}}");
+    }
+    eprintln!("error: {message}");
+    std::process::exit(code);
+}

@@ -25,6 +25,8 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod retry;
 pub mod sample;
 pub mod sweep;
 
@@ -69,13 +71,27 @@ pub fn run_app_with(
     scale: u64,
     tweak: impl FnOnce(&mut SimConfig),
 ) -> SimResult {
+    try_run_app_with(app, threads, level, scale, tweak).expect("workloads terminate")
+}
+
+/// Fallible twin of [`run_app_with`] for supervised sweeps: simulator
+/// errors (including watchdog trips like `LivelockDetected`) come back
+/// as typed messages instead of panics, so a failing grid point can
+/// degrade to a `PointFailure` record.
+pub fn try_run_app_with(
+    app: &App,
+    threads: usize,
+    level: MmtLevel,
+    scale: u64,
+    tweak: impl FnOnce(&mut SimConfig),
+) -> Result<SimResult, String> {
     let mut cfg = SimConfig::paper_with(threads, level);
     tweak(&mut cfg);
     let spec = to_run_spec(app.instance(threads, scale));
     Simulator::new(cfg, spec)
-        .expect("valid config and spec")
+        .map_err(|e| format!("{}: invalid config/spec: {e}", app.name))?
         .run()
-        .expect("workloads terminate")
+        .map_err(|e| format!("{}: {e}", app.name))
 }
 
 /// Run the paper's *Limit* configuration for an app (identical instances

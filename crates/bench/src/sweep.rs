@@ -11,11 +11,23 @@
 //! (wall-clock, cycles simulated, sim-cycles/sec, peak uop-arena
 //! footprint) and writes a machine-readable `results/BENCH_<figure>.json`
 //! per sweep so the perf trajectory is tracked PR-over-PR.
+//!
+//! The fault-tolerance half (DESIGN.md §15) wraps grid points in
+//! supervision: [`run_supervised`] runs each point on its own attempt
+//! thread under `catch_unwind` with an optional wall-clock deadline and
+//! bounded retry-with-backoff ([`crate::retry::RetryPolicy`]); a point
+//! that keeps failing degrades to a typed [`PointFailure`] record in the
+//! figure's BENCH JSON instead of killing the sweep. [`ResumeDir`]
+//! caches each completed point on disk (atomic tmp + rename), so a
+//! sweep killed mid-run resumes from the last completed point
+//! (`--resume-dir`) and still produces byte-identical canonical output.
 
-use mmt_sim::{SimResult, SimStats, Trace};
+use crate::retry::RetryPolicy;
+use mmt_sim::{SimError, SimResult, SimStats, Simulator, Trace};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Worker count when `--jobs` is not given: one per available core.
@@ -68,6 +80,212 @@ where
                 .expect("worker filled every claimed slot")
         })
         .collect()
+}
+
+/// Why a supervised grid point was recorded as failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The point's closure panicked (caught by `catch_unwind`).
+    Panic,
+    /// The point missed its wall-clock deadline; the attempt thread was
+    /// abandoned.
+    Timeout,
+    /// The point returned a typed error (e.g. a `SimError` such as a
+    /// watchdog firing). Deterministic, so never retried.
+    Error,
+}
+
+impl FailureKind {
+    /// Stable lower-case name used in BENCH JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Timeout => "timeout",
+            FailureKind::Error => "error",
+        }
+    }
+}
+
+impl serde::Serialize for FailureKind {
+    fn serialize_json(&self, out: &mut String) {
+        self.name().serialize_json(out);
+    }
+}
+
+/// A grid point that failed supervision: recorded in the BENCH report
+/// instead of aborting the sweep's sibling points.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PointFailure {
+    /// Which grid point failed (same namespace as [`RunTelemetry::label`]).
+    pub label: String,
+    /// Failure class (panic / timeout / typed error).
+    pub kind: FailureKind,
+    /// Human-readable cause: the panic message, deadline, or error text.
+    pub message: String,
+    /// How many attempts were made before giving up.
+    pub attempts: u32,
+}
+
+impl PointFailure {
+    /// Copy with the (wall-clock-noise-dependent) attempt count zeroed —
+    /// canonical form for determinism comparisons.
+    pub fn without_attempts(&self) -> PointFailure {
+        PointFailure {
+            attempts: 0,
+            ..self.clone()
+        }
+    }
+}
+
+/// Supervision settings for [`run_supervised`].
+#[derive(Debug, Clone)]
+pub struct Supervision {
+    /// Per-attempt wall-clock deadline; `None` waits indefinitely.
+    pub deadline: Option<Duration>,
+    /// Retry policy for transient failures (panics and timeouts only —
+    /// typed errors are deterministic and fail fast).
+    pub retry: RetryPolicy,
+}
+
+impl Default for Supervision {
+    fn default() -> Self {
+        Supervision {
+            deadline: None,
+            retry: RetryPolicy::attempts(2),
+        }
+    }
+}
+
+/// One attempt's transient failure, before retry accounting.
+struct AttemptFailure {
+    kind: FailureKind,
+    message: String,
+}
+
+/// Run one attempt of a point on its own thread so a hang cannot wedge
+/// the sweep: the supervisor waits on a channel with the deadline and
+/// simply abandons a thread that blows it.
+fn run_attempt<T, R, F>(
+    item: T,
+    deadline: Option<Duration>,
+    f: Arc<F>,
+) -> Result<Result<R, String>, AttemptFailure>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> Result<R, String> + Send + Sync + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(item)));
+        let _ = tx.send(outcome);
+    });
+    let received = match deadline {
+        Some(limit) => rx.recv_timeout(limit).map_err(|_| AttemptFailure {
+            kind: FailureKind::Timeout,
+            message: format!(
+                "no result within the {:.1}s deadline; attempt abandoned",
+                limit.as_secs_f64()
+            ),
+        }),
+        None => rx.recv().map_err(|_| AttemptFailure {
+            kind: FailureKind::Panic,
+            message: "attempt thread died without reporting a result".into(),
+        }),
+    };
+    match received {
+        Ok(Ok(result)) => {
+            let _ = worker.join();
+            Ok(result)
+        }
+        Ok(Err(payload)) => {
+            let _ = worker.join();
+            Err(AttemptFailure {
+                kind: FailureKind::Panic,
+                message: panic_message(payload.as_ref()),
+            })
+        }
+        // Timed out: leave the worker thread detached rather than block
+        // the whole sweep joining a hung simulation.
+        Err(fail) => Err(fail),
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".into()
+    }
+}
+
+/// Supervise one grid point: bounded retries for transient failures
+/// (panic, deadline miss), fail-fast on typed errors.
+fn supervise_point<T, R, F>(
+    label: &str,
+    item: &T,
+    sup: &Supervision,
+    f: &Arc<F>,
+) -> Result<R, PointFailure>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> Result<R, String> + Send + Sync + 'static,
+{
+    let attempts = sup.retry.attempts.max(1);
+    let mut transient: Option<AttemptFailure> = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(sup.retry.backoff_before(attempt));
+        }
+        match run_attempt(item.clone(), sup.deadline, Arc::clone(f)) {
+            Ok(Ok(result)) => return Ok(result),
+            Ok(Err(message)) => {
+                // Typed simulator errors are deterministic: retrying
+                // re-runs the identical computation, so fail fast.
+                return Err(PointFailure {
+                    label: label.to_string(),
+                    kind: FailureKind::Error,
+                    message,
+                    attempts: attempt + 1,
+                });
+            }
+            Err(fail) => transient = Some(fail),
+        }
+    }
+    let fail = transient.expect("at least one attempt ran");
+    Err(PointFailure {
+        label: label.to_string(),
+        kind: fail.kind,
+        message: fail.message,
+        attempts,
+    })
+}
+
+/// [`run_parallel`] with per-point supervision: each point runs under
+/// `catch_unwind` on its own attempt thread with an optional wall-clock
+/// deadline and bounded retry-with-backoff. A point that keeps failing
+/// comes back as `Err(PointFailure)` in its grid slot — sibling points
+/// are unaffected. Results keep item order, like `run_parallel`.
+pub fn run_supervised<T, R, F>(
+    items: &[T],
+    jobs: usize,
+    sup: &Supervision,
+    label: impl Fn(&T) -> String + Sync,
+    f: F,
+) -> Vec<Result<R, PointFailure>>
+where
+    T: Clone + Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> Result<R, String> + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    run_parallel(items, jobs, |item| {
+        supervise_point(&label(item), item, sup, &f)
+    })
 }
 
 /// Time one simulation and capture its telemetry.
@@ -125,6 +343,21 @@ impl RunTelemetry {
             ..self.clone()
         }
     }
+
+    /// Rebuild telemetry from its own JSON serialization (the vendored
+    /// serde has no derived deserializer, so resume caches read back
+    /// through `mmt_obs::json`). Returns `None` on any missing field.
+    pub fn from_json(v: &mmt_obs::json::Value) -> Option<RunTelemetry> {
+        Some(RunTelemetry {
+            label: v.get("label")?.as_str()?.to_string(),
+            cycles: v.get("cycles")?.as_f64()? as u64,
+            wall_ms: v.get("wall_ms")?.as_f64()?,
+            sim_cycles_per_sec: v.get("sim_cycles_per_sec")?.as_f64()?,
+            peak_uop_arena: v.get("peak_uop_arena")?.as_f64()? as u64,
+            peak_live_uops: v.get("peak_live_uops")?.as_f64()? as u64,
+            scratch_growth_events: v.get("scratch_growth_events")?.as_f64()? as u64,
+        })
+    }
 }
 
 /// The machine-readable record one sweep emits.
@@ -138,6 +371,8 @@ pub struct BenchReport {
     pub total_wall_ms: f64,
     /// Per-run telemetry, in deterministic grid order.
     pub runs: Vec<RunTelemetry>,
+    /// Grid points that failed supervision (empty on a clean sweep).
+    pub failures: Vec<PointFailure>,
 }
 
 impl BenchReport {
@@ -148,10 +383,18 @@ impl BenchReport {
             jobs,
             total_wall_ms: total_wall.as_secs_f64() * 1000.0,
             runs,
+            failures: Vec::new(),
         }
     }
 
-    /// JSON with wall-clock-derived fields (and the pool size) zeroed —
+    /// Attach the failed points a supervised sweep collected.
+    pub fn with_failures(mut self, failures: Vec<PointFailure>) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// JSON with wall-clock-derived fields (the pool size, and failure
+    /// attempt counts, which depend on machine noise) zeroed —
     /// byte-identical across pool sizes for the same grid, which is what
     /// the determinism suite asserts.
     pub fn canonical_json(&self) -> String {
@@ -163,6 +406,11 @@ impl BenchReport {
                 .runs
                 .iter()
                 .map(RunTelemetry::without_wall_clock)
+                .collect(),
+            failures: self
+                .failures
+                .iter()
+                .map(PointFailure::without_attempts)
                 .collect(),
         };
         serde_json::to_string(&canon).expect("stub serializer is infallible")
@@ -200,6 +448,85 @@ pub fn write_trace_files(dir: &Path, label: &str, trace: &Trace) -> std::io::Res
     Ok(dir.join(format!("{stem}.trace.json")))
 }
 
+/// Parse `--resume-dir DIR`: when present, a sweep caches every
+/// completed grid point under DIR and reloads cached points on restart.
+pub fn resume_dir_arg(args: &[String]) -> Option<PathBuf> {
+    crate::arg_value(args, "--resume-dir").map(PathBuf::from)
+}
+
+/// On-disk cache of completed grid points for crash-resumable sweeps.
+///
+/// Each completed point is written to `<dir>/<label>.point.json` via a
+/// temp file and an atomic rename, so a kill at any instant leaves
+/// either no cache entry (the point re-runs) or a complete one (the
+/// point is skipped) — never a torn file. Simulation results are
+/// deterministic, so a resumed sweep's canonical BENCH JSON is
+/// byte-identical to an uninterrupted run's.
+#[derive(Debug, Clone)]
+pub struct ResumeDir {
+    dir: PathBuf,
+}
+
+impl ResumeDir {
+    /// Open (creating if needed) a resume directory.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<ResumeDir> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResumeDir { dir })
+    }
+
+    fn point_path(&self, label: &str) -> PathBuf {
+        self.dir
+            .join(format!("{}.point.json", label.replace('/', "-")))
+    }
+
+    /// Load a cached point, if a complete cache entry exists. Corrupt
+    /// entries (torn writes cannot happen, but disks can lie) are
+    /// treated as absent so the point simply re-runs.
+    pub fn load(&self, label: &str) -> Option<mmt_obs::json::Value> {
+        mmt_obs::json::parse_file(self.point_path(label)).ok()
+    }
+
+    /// Atomically persist a completed point (temp file + rename).
+    pub fn store<T: serde::Serialize>(&self, label: &str, point: &T) -> std::io::Result<()> {
+        let json = serde_json::to_string(point).expect("stub serializer is infallible");
+        self.write_atomic(&self.point_path(label), &(json + "\n"))
+    }
+
+    /// Step a simulation to completion, atomically rewriting
+    /// `<label>.ckpt.json` with the architectural state every `every`
+    /// cycles — the PR 6 `ArchState` document, digest-sealed, so a long
+    /// point killed mid-run leaves an inspectable, restartable snapshot.
+    pub fn run_checkpointed(
+        &self,
+        label: &str,
+        mut sim: Simulator,
+        every: u64,
+    ) -> Result<SimResult, SimError> {
+        let every = every.max(1);
+        let path = self
+            .dir
+            .join(format!("{}.ckpt.json", label.replace('/', "-")));
+        let mut next = every;
+        while !sim.finished() {
+            sim.step_cycle()?;
+            if sim.now() >= next {
+                next = sim.now() + every;
+                if let Err(e) = self.write_atomic(&path, &sim.arch_state().to_json()) {
+                    eprintln!("warning: checkpoint for {label} not written: {e}");
+                }
+            }
+        }
+        Ok(sim.finish())
+    }
+
+    fn write_atomic(&self, path: &Path, contents: &str) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, contents)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
 /// Serialize any report to `results/BENCH_<name>.json` (shared by the
 /// sweep reports and `perfsmoke`'s custom shape).
 pub fn write_report<T: serde::Serialize>(name: &str, report: &T) -> std::io::Result<PathBuf> {
@@ -230,6 +557,119 @@ mod tests {
     fn empty_grid_is_fine() {
         let out: Vec<u64> = run_parallel(&[] as &[u64], 8, |&v| v);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn supervised_points_fail_independently() {
+        let items: Vec<u32> = (0..6).collect();
+        let sup = Supervision {
+            deadline: None,
+            retry: RetryPolicy::once(),
+        };
+        let out = run_supervised(
+            &items,
+            3,
+            &sup,
+            |i| format!("point{i}"),
+            |i: u32| {
+                if i == 2 {
+                    Err("livelock detected: no retirement for 1000 cycles".to_string())
+                } else if i == 4 {
+                    panic!("injected panic for point 4");
+                } else {
+                    Ok(i * 10)
+                }
+            },
+        );
+        assert_eq!(out.len(), 6);
+        for (i, slot) in out.iter().enumerate() {
+            match (i, slot) {
+                (2, Err(f)) => {
+                    assert_eq!(f.kind, FailureKind::Error);
+                    assert_eq!(f.label, "point2");
+                    assert!(f.message.contains("livelock detected"));
+                    assert_eq!(f.attempts, 1);
+                }
+                (4, Err(f)) => {
+                    assert_eq!(f.kind, FailureKind::Panic);
+                    assert!(f.message.contains("injected panic"));
+                }
+                (i, Ok(v)) => assert_eq!(*v, i as u32 * 10),
+                (i, bad) => panic!("point {i}: unexpected {bad:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn transient_panics_are_retried() {
+        use std::sync::atomic::AtomicU32;
+        let calls = Arc::new(AtomicU32::new(0));
+        let seen = Arc::clone(&calls);
+        let sup = Supervision {
+            deadline: None,
+            retry: RetryPolicy {
+                attempts: 3,
+                base_backoff: Duration::ZERO,
+                ..Default::default()
+            },
+        };
+        let out = run_supervised(
+            &[0u32],
+            1,
+            &sup,
+            |_| "flaky".to_string(),
+            move |_| {
+                if seen.fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("transient");
+                }
+                Ok(7u32)
+            },
+        );
+        assert_eq!(out[0].as_ref().unwrap(), &7);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn deadline_miss_becomes_a_timeout_failure() {
+        let sup = Supervision {
+            deadline: Some(Duration::from_millis(50)),
+            retry: RetryPolicy::once(),
+        };
+        let out = run_supervised(
+            &[0u32],
+            1,
+            &sup,
+            |_| "hung".to_string(),
+            |_| {
+                std::thread::sleep(Duration::from_secs(2));
+                Ok(0u32)
+            },
+        );
+        let f = out[0].as_ref().unwrap_err();
+        assert_eq!(f.kind, FailureKind::Timeout);
+        assert!(f.message.contains("deadline"), "{}", f.message);
+    }
+
+    #[test]
+    fn resume_dir_round_trips_points_atomically() {
+        let dir = std::env::temp_dir().join(format!("mmt-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResumeDir::open(&dir).unwrap();
+        assert!(cache.load("a/b").is_none());
+        let t = RunTelemetry::new(
+            "a/b".into(),
+            Duration::from_millis(250),
+            &SimStats::default(),
+        );
+        cache.store("a/b", &t).unwrap();
+        let v = cache.load("a/b").expect("cached point loads");
+        let back = RunTelemetry::from_json(&v).expect("telemetry round-trips");
+        assert_eq!(back.label, "a/b");
+        assert_eq!(back.wall_ms, t.wall_ms);
+        // Slashes flatten to one file per label; no stray temp files.
+        assert!(dir.join("a-b.point.json").exists());
+        assert!(!dir.join("a-b.point.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

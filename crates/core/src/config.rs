@@ -97,6 +97,36 @@ pub enum FetchStyle {
     TraceCache,
 }
 
+/// Forward-progress watchdog thresholds (DESIGN.md §15). The watchdogs
+/// turn hangs into typed errors instead of infinite loops: they only
+/// *observe* retirement counters and memory footprints, so enabling them
+/// never perturbs timing or architectural results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Cycles without *any* thread retiring an instruction before the
+    /// run fails with [`crate::SimError::LivelockDetected`]. Must dwarf
+    /// every legitimate stall (DRAM round trips are ~200 cycles,
+    /// software-hint parks are bounded by
+    /// [`SimConfig::hint_wait_limit`]); the default leaves three orders
+    /// of magnitude of headroom. `0` disables the check.
+    pub livelock_window: u64,
+    /// Total touched data-memory words (summed over all memories) before
+    /// the run fails with [`crate::SimError::MemoryBudgetExceeded`].
+    /// Checked periodically (every 4096 cycles), so a runaway
+    /// memory-filling loop is caught deterministically but off the hot
+    /// path. `0` disables the check.
+    pub memory_budget_words: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig {
+            livelock_window: 1_000_000,
+            memory_budget_words: 0,
+        }
+    }
+}
+
 /// Full machine configuration (Table 4 defaults via [`SimConfig::paper`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -170,6 +200,9 @@ pub struct SimConfig {
     pub hint_wait_limit: u64,
     /// Hard cycle cap (guards against runaway simulations).
     pub max_cycles: u64,
+    /// Forward-progress watchdogs: livelock and memory-budget guards
+    /// that fail a hung run with a typed error (DESIGN.md §15).
+    pub watchdog: WatchdogConfig,
     /// Record every merged dispatch as a [`crate::MergeEvent`] in
     /// [`crate::SimResult::merge_log`], for offline differential checking
     /// against a static redundancy oracle (`mmt-analysis`). When set, the
@@ -227,6 +260,7 @@ impl SimConfig {
             remerge_hints: Vec::new(),
             hint_wait_limit: 400,
             max_cycles: 500_000_000,
+            watchdog: WatchdogConfig::default(),
             record_merge_log: false,
             record_pc_profile: false,
             trace: None,

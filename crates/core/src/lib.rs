@@ -51,6 +51,7 @@ pub mod audit;
 pub mod config;
 pub mod ffwd;
 pub mod hw_cost;
+pub mod inject;
 pub mod itid;
 pub mod lvip;
 pub mod pipeline;
@@ -60,8 +61,9 @@ pub mod split;
 pub mod stats;
 
 pub use audit::MergeEvent;
-pub use config::{FetchStyle, MmtLevel, SimConfig};
+pub use config::{FetchStyle, MmtLevel, SimConfig, WatchdogConfig};
 pub use ffwd::Ffwd;
+pub use inject::{flip_byte, CampaignRng, Fault, FaultTarget};
 pub use itid::Itid;
 pub use lvip::Lvip;
 pub use mmt_mem::MemoryHierarchy;

@@ -89,6 +89,18 @@ impl Lvip {
         self.entries.copy_from_slice(entries);
     }
 
+    /// Fault-injection hook: XOR `bits` into slot `slot`'s remembered
+    /// tag (an empty slot becomes a bogus learned entry holding exactly
+    /// `bits`). Not part of the stable API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[doc(hidden)]
+    pub fn debug_xor_slot(&mut self, slot: usize, bits: u64) {
+        self.entries[slot] = Some(self.entries[slot].unwrap_or(0) ^ bits);
+    }
+
     /// Total predictions made.
     pub fn lookup_count(&self) -> u64 {
         self.lookups

@@ -38,9 +38,10 @@ use crate::stats::SimStats;
 use mmt_frontend::{Btb, FetchSync, Ras, SyncMode, TwoLevelPredictor};
 use mmt_isa::interp::{Machine, Memory, StepInfo};
 use mmt_isa::reg::NUM_REGS;
-use mmt_isa::{Inst, MemSharing, OpClass, Program, MAX_THREADS};
+use mmt_isa::{Inst, MemSharing, OpClass, Program, Reg, MAX_THREADS};
 use mmt_obs::{
-    FetchKind, LvipOutcome, ModeTag, ModeTrigger, Occupancy, SplitCause, SplitKind, TraceEvent,
+    FaultUnit, FetchKind, LvipOutcome, ModeTag, ModeTrigger, Occupancy, SplitCause, SplitKind,
+    TraceEvent, WatchdogKind,
 };
 use std::collections::VecDeque;
 use std::error::Error;
@@ -110,6 +111,24 @@ pub enum SimError {
     /// A structural invariant failed in [`Simulator::validate`] (only
     /// produced when the `check-invariants` feature is enabled).
     Invariant(String),
+    /// The livelock watchdog fired: no thread retired an instruction for
+    /// [`crate::WatchdogConfig::livelock_window`] consecutive cycles
+    /// while the run was not finished.
+    LivelockDetected {
+        /// The configured no-retirement window that elapsed.
+        window: u64,
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+    },
+    /// The memory-budget watchdog fired: the total touched-memory
+    /// footprint exceeded
+    /// [`crate::WatchdogConfig::memory_budget_words`].
+    MemoryBudgetExceeded {
+        /// The configured budget in words.
+        budget_words: usize,
+        /// Touched words at the time of the check.
+        used_words: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -125,6 +144,17 @@ impl fmt::Display for SimError {
                 context,
             } => write!(f, "pipeline desync at pc {pc}, thread {thread}: {context}"),
             SimError::Invariant(m) => write!(f, "invariant violation: {m}"),
+            SimError::LivelockDetected { window, cycle } => write!(
+                f,
+                "livelock detected: no retirement for {window} cycles (at cycle {cycle})"
+            ),
+            SimError::MemoryBudgetExceeded {
+                budget_words,
+                used_words,
+            } => write!(
+                f,
+                "memory budget exceeded: {used_words} words touched, budget {budget_words}"
+            ),
         }
     }
 }
@@ -381,6 +411,11 @@ pub struct Simulator {
     threads: Vec<ThreadState>,
     now: u64,
 
+    // Forward-progress watchdog bookkeeping (DESIGN.md §15): the total
+    // retired count last time progress was seen, and when.
+    wd_last_retired: u64,
+    wd_last_progress: u64,
+
     // Front end.
     sync: FetchSync,
     bpred: TwoLevelPredictor,
@@ -551,6 +586,8 @@ impl Simulator {
             dbg_merge: std::env::var_os("MMT_DEBUG_MERGE").is_some(),
             threads,
             now: 0,
+            wd_last_retired: 0,
+            wd_last_progress: 0,
             program: spec.program,
             sharing: spec.sharing,
             memories: spec.memories,
@@ -592,6 +629,7 @@ impl Simulator {
                     limit: self.cfg.max_cycles,
                 });
             }
+            self.check_watchdogs()?;
             if self.rob_live == 0 && self.decode_queue.is_empty() {
                 self.dbg_idle_cycles += 1;
             }
@@ -835,6 +873,121 @@ impl Simulator {
     #[doc(hidden)]
     pub fn rst_mut(&mut self) -> &mut RegSharingTable {
         &mut self.rst
+    }
+
+    /// Forward-progress watchdogs (DESIGN.md §15), checked at the top of
+    /// every cycle: livelock (no thread retired for the configured window
+    /// while the run is unfinished) and the total touched-memory budget
+    /// (sampled every 4096 cycles — footprints grow slowly relative to
+    /// the cycle loop).
+    fn check_watchdogs(&mut self) -> Result<(), SimError> {
+        let wd = self.cfg.watchdog;
+        if wd.livelock_window > 0 {
+            let retired: u64 = self.threads.iter().map(|t| t.retired).sum();
+            if retired != self.wd_last_retired {
+                self.wd_last_retired = retired;
+                self.wd_last_progress = self.now;
+            } else if self.now - self.wd_last_progress >= wd.livelock_window && !self.finished() {
+                self.emit(TraceEvent::Watchdog {
+                    kind: WatchdogKind::Livelock,
+                });
+                return Err(SimError::LivelockDetected {
+                    window: wd.livelock_window,
+                    cycle: self.now,
+                });
+            }
+        }
+        if wd.memory_budget_words > 0 && self.now & 0xFFF == 0 {
+            let used: usize = self.memories.iter().map(Memory::touched_len).sum();
+            if used > wd.memory_budget_words {
+                self.emit(TraceEvent::Watchdog {
+                    kind: WatchdogKind::MemoryBudget,
+                });
+                return Err(SimError::MemoryBudgetExceeded {
+                    budget_words: wd.memory_budget_words,
+                    used_words: used,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a single-event upset to live state between cycles
+    /// (fault-injection campaigns, DESIGN.md §15). Emits a
+    /// [`TraceEvent::FaultInjected`] when tracing is on.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadSpec`] when the target is out of range for this
+    /// configuration, or is a
+    /// [`CheckpointByte`](crate::inject::FaultTarget::CheckpointByte)
+    /// (those apply to serialized documents via
+    /// [`crate::inject::flip_byte`], not to a live simulator).
+    pub fn inject(&mut self, target: &crate::inject::FaultTarget) -> Result<(), SimError> {
+        use crate::inject::FaultTarget as T;
+        match *target {
+            T::RstEntry {
+                reg,
+                shared_xor,
+                by_merge_xor,
+            } => {
+                if reg == 0 || reg >= NUM_REGS {
+                    return Err(SimError::BadSpec(format!(
+                        "rst fault register {reg} out of range"
+                    )));
+                }
+                self.rst.debug_xor_entry(reg, shared_xor, by_merge_xor);
+                self.emit(TraceEvent::FaultInjected {
+                    unit: FaultUnit::Rst,
+                    index: reg as u32,
+                });
+            }
+            T::LvipSlot { slot, bits } => {
+                if slot >= self.cfg.lvip_entries {
+                    return Err(SimError::BadSpec(format!(
+                        "lvip fault slot {slot} out of range"
+                    )));
+                }
+                self.lvip.debug_xor_slot(slot, bits);
+                self.emit(TraceEvent::FaultInjected {
+                    unit: FaultUnit::Lvip,
+                    index: slot as u32,
+                });
+            }
+            T::ArchReg { thread, reg, bits } => {
+                let Some(r) = Reg::from_index(reg).filter(|r| !r.is_zero()) else {
+                    return Err(SimError::BadSpec(format!(
+                        "arch-reg fault register {reg} out of range"
+                    )));
+                };
+                if thread >= self.threads.len() {
+                    return Err(SimError::BadSpec(format!(
+                        "arch-reg fault thread {thread} out of range"
+                    )));
+                }
+                let m = &mut self.threads[thread].machine;
+                let v = m.reg(r);
+                m.set_reg(r, v ^ bits);
+                self.emit(TraceEvent::FaultInjected {
+                    unit: FaultUnit::ArchReg,
+                    index: ((thread as u32) << 8) | reg as u32,
+                });
+            }
+            T::CheckpointByte { .. } => {
+                return Err(SimError::BadSpec(
+                    "checkpoint faults apply to serialized documents, not a live simulator".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Test hook: park thread `t`'s fetch forever, constructing a true
+    /// livelock (nothing retires, yet the run never finishes) for
+    /// watchdog tests. Not part of the stable API.
+    #[doc(hidden)]
+    pub fn debug_hang_thread(&mut self, t: usize) {
+        self.threads[t].blocked_until = u64::MAX;
     }
 
     /// The merge events recorded so far (empty unless
@@ -1082,6 +1235,8 @@ impl Simulator {
                 })
                 .collect(),
             now: self.now,
+            wd_last_retired: self.wd_last_retired,
+            wd_last_progress: self.wd_last_progress,
             sync: self.sync.clone(),
             bpred: self.bpred.clone(),
             btb: self.btb.clone(),

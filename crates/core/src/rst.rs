@@ -203,6 +203,22 @@ impl RegSharingTable {
         e.by_merge |= bit;
     }
 
+    /// Fault-injection hook: XOR raw bit masks into the entry for
+    /// register index `reg` — unlike [`Self::restore_raw`] this applies
+    /// arbitrary corruption (including unreachable states) without any
+    /// audit, exactly like a particle strike would. Not part of the
+    /// stable API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range.
+    #[doc(hidden)]
+    pub fn debug_xor_entry(&mut self, reg: usize, shared_xor: u8, by_merge_xor: u8) {
+        let e = &mut self.entries[reg];
+        e.shared ^= shared_xor;
+        e.by_merge ^= by_merge_xor;
+    }
+
     /// Raw `(shared, by_merge)` pair-bit bytes per architected register,
     /// for checkpointing warm sharing state.
     pub fn entries_raw(&self) -> [(u8, u8); NUM_REGS] {

@@ -264,6 +264,76 @@ impl ArchState {
         h.finish()
     }
 
+    /// FNV-1a digest of *every* field — provenance (`cycle`,
+    /// `config_digest`, `sharing`) and warm predictor state included —
+    /// unlike [`ArchState::digest`], which deliberately hashes only the
+    /// mode-independent architectural core. This is the
+    /// corruption-detection digest: [`ArchState::to_json`] embeds it as
+    /// the `"integrity"` field and [`ArchState::from_json`] refuses any
+    /// document whose content no longer hashes to its claim, so a
+    /// truncated or bit-flipped checkpoint cannot load silently.
+    pub fn integrity_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.put_u64(self.cycle);
+        h.put_u64(self.config_digest);
+        h.put_u64(match self.sharing {
+            MemSharing::Shared => 0,
+            MemSharing::PerThread => 1,
+        });
+        h.put_u64(self.threads.len() as u64);
+        for t in &self.threads {
+            h.put_u64(t.tid as u64);
+            for &r in &t.regs {
+                h.put_u64(r);
+            }
+            h.put_u64(t.pc);
+            h.put_u64(t.halted as u64);
+            h.put_u64(t.retired);
+        }
+        h.put_u64(self.memories.len() as u64);
+        for m in &self.memories {
+            h.put_u64(m.id as u64);
+            h.put_u64(m.limit);
+            // Trailing zeros trimmed, as in `digest`: the sparse JSON
+            // encoding cannot represent them, so a padded image and its
+            // round-tripped twin must hash identically.
+            let trimmed = {
+                let mut n = m.words.len();
+                while n > 0 && m.words[n - 1] == 0 {
+                    n -= 1;
+                }
+                &m.words[..n]
+            };
+            h.put_u64(trimmed.len() as u64);
+            for &w in trimmed {
+                h.put_u64(w);
+            }
+        }
+        match &self.rst {
+            None => h.put_u64(0),
+            Some(rst) => {
+                h.put_u64(1);
+                for &(s, b) in rst.iter() {
+                    h.put_bytes(&[s, b]);
+                }
+            }
+        }
+        match &self.lvip {
+            None => h.put_u64(0),
+            Some(table) => {
+                h.put_u64(1);
+                h.put_u64(table.len() as u64);
+                for (slot, pc) in table.iter().enumerate() {
+                    if let Some(pc) = pc {
+                        h.put_u64(slot as u64);
+                        h.put_u64(*pc);
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// Serialize to the `mmt-archstate-v1` JSON document.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
@@ -349,7 +419,10 @@ impl ArchState {
             }
             out.push(']');
         }
-        out.push_str("\n}\n");
+        out.push_str(&format!(
+            ",\n  \"integrity\": \"{}\"\n}}\n",
+            self.integrity_digest()
+        ));
         out
     }
 
@@ -486,7 +559,11 @@ impl ArchState {
             }
         };
 
-        Ok(ArchState {
+        let claimed = get_u64(&root, "integrity").map_err(|_| {
+            "missing or malformed \"integrity\" digest (truncated or pre-integrity checkpoint?)"
+                .to_string()
+        })?;
+        let state = ArchState {
             cycle,
             config_digest,
             sharing,
@@ -494,7 +571,15 @@ impl ArchState {
             memories,
             rst,
             lvip,
-        })
+        };
+        let actual = state.integrity_digest();
+        if claimed != actual {
+            return Err(format!(
+                "integrity digest mismatch: document claims {claimed} but content hashes to \
+                 {actual} — the checkpoint is corrupt"
+            ));
+        }
+        Ok(state)
     }
 }
 
@@ -620,5 +705,111 @@ mod tests {
         assert!(ArchState::from_json(wrong_tag)
             .unwrap_err()
             .contains("unsupported"));
+    }
+
+    #[test]
+    fn integrity_digest_covers_every_field() {
+        let s = sample_state();
+        let base = s.integrity_digest();
+        let mutations: Vec<ArchState> = vec![
+            {
+                let mut a = s.clone();
+                a.cycle ^= 1;
+                a
+            },
+            {
+                let mut a = s.clone();
+                a.config_digest ^= 1;
+                a
+            },
+            {
+                let mut a = s.clone();
+                a.sharing = MemSharing::Shared;
+                a
+            },
+            {
+                let mut a = s.clone();
+                a.threads[1].regs[5] ^= 1;
+                a
+            },
+            {
+                let mut a = s.clone();
+                a.memories[0].store(3, 7);
+                a
+            },
+            {
+                let mut a = s.clone();
+                a.rst.as_mut().unwrap()[4].0 ^= 1;
+                a
+            },
+            {
+                let mut a = s.clone();
+                a.lvip.as_mut().unwrap()[2] = Some(9);
+                a
+            },
+            {
+                let mut a = s.clone();
+                a.rst = None;
+                a
+            },
+        ];
+        for (i, m) in mutations.iter().enumerate() {
+            assert_ne!(
+                m.integrity_digest(),
+                base,
+                "mutation {i} was invisible to the integrity digest"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_integrity_is_rejected() {
+        let s = sample_state();
+        let json = s.to_json();
+        // Strip the integrity field: a well-formed document without it
+        // (a hand-edited or pre-integrity file) must be refused.
+        let at = json.find(",\n  \"integrity\"").unwrap();
+        let stripped = format!("{}\n}}\n", &json[..at]);
+        assert!(ArchState::from_json(&stripped)
+            .unwrap_err()
+            .contains("integrity"));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught_or_masked() {
+        let s = sample_state();
+        let json = s.to_json();
+        // Flip one bit at every byte offset (cycling through the bit
+        // positions). Each corrupt document must either be rejected or —
+        // when the flip is semantically neutral, e.g. whitespace — load
+        // back to *exactly* the original state. Nothing may load
+        // differently and quietly: that would be silent corruption.
+        for offset in 0..json.len() {
+            let bit = (offset % 8) as u8;
+            let mut corrupt = json.clone().into_bytes();
+            assert!(crate::inject::flip_byte(&mut corrupt, offset, bit));
+            let text = String::from_utf8_lossy(&corrupt);
+            if let Ok(loaded) = ArchState::from_json(&text) {
+                assert_eq!(
+                    loaded, s,
+                    "flip at byte {offset} bit {bit} loaded a different state"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_documents_are_rejected() {
+        let s = sample_state();
+        let json = s.to_json();
+        // Every strict prefix that removes actual content must fail: the
+        // integrity field is serialized last, so truncation always costs
+        // at least part of it. (Sampled stride keeps the test fast.)
+        for len in (0..json.len().saturating_sub(2)).step_by(7) {
+            assert!(
+                ArchState::from_json(&json[..len]).is_err(),
+                "prefix of {len} bytes was accepted"
+            );
+        }
     }
 }

@@ -112,6 +112,27 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                     format!(",\"s\":\"t\",\"args\":{{\"pc\":{pc},\"mask\":{mask}}}"),
                 ));
             }
+            TraceEvent::FaultInjected { unit, index } => {
+                rows.push(row(
+                    rec.cycle,
+                    'i',
+                    0,
+                    "fault",
+                    format!(
+                        ",\"s\":\"g\",\"args\":{{\"unit\":\"{}\",\"idx\":{index}}}",
+                        unit.name()
+                    ),
+                ));
+            }
+            TraceEvent::Watchdog { kind } => {
+                rows.push(row(
+                    rec.cycle,
+                    'i',
+                    0,
+                    "watchdog",
+                    format!(",\"s\":\"g\",\"args\":{{\"kind\":\"{}\"}}", kind.name()),
+                ));
+            }
             _ => {}
         }
     }

@@ -164,6 +164,48 @@ impl LvipOutcome {
     }
 }
 
+/// Which state class a deliberately injected fault landed in
+/// (fault-injection campaigns, DESIGN.md §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultUnit {
+    /// A Register Sharing Table entry.
+    Rst,
+    /// An LVIP slot.
+    Lvip,
+    /// An architectural register.
+    ArchReg,
+}
+
+impl FaultUnit {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultUnit::Rst => "rst",
+            FaultUnit::Lvip => "lvip",
+            FaultUnit::ArchReg => "arch-reg",
+        }
+    }
+}
+
+/// Which forward-progress watchdog fired (DESIGN.md §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogKind {
+    /// No thread retired for the configured livelock window.
+    Livelock,
+    /// The total touched-memory footprint exceeded its budget.
+    MemoryBudget,
+}
+
+impl WatchdogKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WatchdogKind::Livelock => "livelock",
+            WatchdogKind::MemoryBudget => "memory-budget",
+        }
+    }
+}
+
 /// One typed pipeline event. See the module docs for conventions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
@@ -265,6 +307,21 @@ pub enum TraceEvent {
         /// Whether the values matched.
         outcome: LvipOutcome,
     },
+    /// A fault-injection campaign deliberately flipped state here, so
+    /// timelines show exactly where an upset landed.
+    FaultInjected {
+        /// The state class hit.
+        unit: FaultUnit,
+        /// Class-specific location: RST/ArchReg register index (ArchReg
+        /// packs `thread << 8 | reg`), LVIP slot.
+        index: u32,
+    },
+    /// A forward-progress watchdog fired; the run terminates with the
+    /// matching typed error immediately after this event.
+    Watchdog {
+        /// Which watchdog.
+        kind: WatchdogKind,
+    },
 }
 
 impl TraceEvent {
@@ -282,6 +339,8 @@ impl TraceEvent {
             TraceEvent::RstSet { .. } => "rst-set",
             TraceEvent::RstClear { .. } => "rst-clear",
             TraceEvent::Lvip { .. } => "lvip",
+            TraceEvent::FaultInjected { .. } => "fault",
+            TraceEvent::Watchdog { .. } => "watchdog",
         }
     }
 }

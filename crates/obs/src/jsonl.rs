@@ -75,6 +75,12 @@ pub fn append_event_line(out: &mut String, rec: &TraceRecord) {
                 outcome.name()
             );
         }
+        TraceEvent::FaultInjected { unit, index } => {
+            let _ = write!(out, ",\"unit\":\"{}\",\"idx\":{index}", unit.name());
+        }
+        TraceEvent::Watchdog { kind } => {
+            let _ = write!(out, ",\"kind\":\"{}\"", kind.name());
+        }
     }
     out.push_str("}\n");
 }
@@ -137,7 +143,10 @@ pub fn windows_jsonl(samples: &[WindowSample], threads: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{FetchKind, LvipOutcome, ModeTag, ModeTrigger, SplitCause, SplitKind};
+    use crate::event::{
+        FaultUnit, FetchKind, LvipOutcome, ModeTag, ModeTrigger, SplitCause, SplitKind,
+        WatchdogKind,
+    };
     use crate::json;
     use crate::window::Occupancy;
     use mmt_isa::MAX_THREADS;
@@ -184,6 +193,13 @@ mod tests {
                 pc: 8,
                 mask: 3,
                 outcome: LvipOutcome::Rollback,
+            },
+            TraceEvent::FaultInjected {
+                unit: FaultUnit::Rst,
+                index: 7,
+            },
+            TraceEvent::Watchdog {
+                kind: WatchdogKind::Livelock,
             },
         ];
         let recs: Vec<TraceRecord> = events

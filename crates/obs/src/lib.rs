@@ -30,7 +30,8 @@ pub mod window;
 
 pub use chrome::{chrome_trace_json, validate_chrome_trace, ChromeSummary};
 pub use event::{
-    FetchKind, LvipOutcome, ModeTag, ModeTrigger, SplitCause, SplitKind, TraceEvent, TraceRecord,
+    FaultUnit, FetchKind, LvipOutcome, ModeTag, ModeTrigger, SplitCause, SplitKind, TraceEvent,
+    TraceRecord, WatchdogKind,
 };
 pub use replay::{replay, CounterSet};
 pub use ring::EventRing;

@@ -69,7 +69,9 @@ impl CounterSet {
             | TraceEvent::ModeTransition { .. }
             | TraceEvent::RstSet { .. }
             | TraceEvent::RstClear { .. }
-            | TraceEvent::Lvip { .. } => {}
+            | TraceEvent::Lvip { .. }
+            | TraceEvent::FaultInjected { .. }
+            | TraceEvent::Watchdog { .. } => {}
         }
     }
 

@@ -1,0 +1,114 @@
+//! Fuzz-style property tests for the hand-rolled JSON reader: whatever
+//! the input — random byte soup, truncated documents, nesting floods,
+//! single-byte corruptions of valid output — `parse` must return a typed
+//! error or a value, never panic, and a reparsed success must agree with
+//! the original document. Non-UTF-8 inputs can only arrive through
+//! `parse_file` and must surface as its `Io` variant.
+
+use mmt_obs::json::{self, FileParseError, Value, MAX_DEPTH};
+use proptest::prelude::*;
+
+/// Deterministically render a small valid JSON document from draws —
+/// a poor man's grammar generator over every value shape the reader
+/// supports (the vendored proptest has no recursive strategies).
+fn render_doc(seed: &[u8]) -> String {
+    fn value(seed: &[u8], i: &mut usize, depth: usize) -> String {
+        let draw = seed.get(*i).copied().unwrap_or(0);
+        *i += 1;
+        match draw % if depth < 4 { 7 } else { 5 } {
+            0 => "null".into(),
+            1 => "true".into(),
+            2 => format!("{}", draw as i32 - 128),
+            3 => format!("{}.{}", draw, draw / 3),
+            4 => format!("\"s{draw}\\n\""),
+            5 => {
+                let n = (draw % 3) as usize;
+                let items: Vec<String> = (0..n).map(|_| value(seed, i, depth + 1)).collect();
+                format!("[{}]", items.join(", "))
+            }
+            _ => {
+                let n = (draw % 3) as usize;
+                let items: Vec<String> = (0..n)
+                    .map(|k| format!("\"k{k}\": {}", value(seed, i, depth + 1)))
+                    .collect();
+                format!("{{{}}}", items.join(", "))
+            }
+        }
+    }
+    let mut i = 0;
+    // Wrap in an object so every strict prefix is structurally invalid.
+    format!("{{\"doc\": {}}}", value(seed, &mut i, 0))
+}
+
+proptest! {
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        // Any outcome is fine; aborting the process is not.
+        let _ = json::parse(&text);
+    }
+
+    #[test]
+    fn generated_documents_parse_and_truncations_fail(seed in prop::collection::vec(any::<u8>(), 1..64), cut in 0usize..512) {
+        let doc = render_doc(&seed);
+        let v = json::parse(&doc).expect("generated document is valid");
+        prop_assert!(v.get("doc").is_some());
+        // Every strict prefix of the (container-rooted, no-trailing-ws)
+        // document must be rejected, not misread.
+        let cut = cut % doc.len();
+        if cut < doc.len() {
+            prop_assert!(json::parse(&doc[..cut]).is_err(), "prefix {cut} of {doc:?} accepted");
+        }
+    }
+
+    #[test]
+    fn corrupted_documents_never_panic(seed in prop::collection::vec(any::<u8>(), 1..64), at in 0usize..512, bit in 0u8..8) {
+        let doc = render_doc(&seed);
+        let mut bytes = doc.clone().into_bytes();
+        let at = at % bytes.len();
+        bytes[at] ^= 1 << bit;
+        let text = String::from_utf8_lossy(&bytes);
+        // Either a typed error or a successful parse of the mutated
+        // text — re-rendered corruption may still be valid JSON (e.g. a
+        // digit flip). Never a panic.
+        let _ = json::parse(&text);
+    }
+
+    #[test]
+    fn nesting_floods_are_typed_errors(extra in 1usize..64, open in prop::sample::select(vec!["[", "{\"k\":"])) {
+        let flood = open.repeat(MAX_DEPTH + extra);
+        let err = json::parse(&flood).expect_err("flood must be rejected");
+        // The offset pins the rejection at the depth limit, proving the
+        // parser stopped recursing rather than erroring incidentally.
+        prop_assert!(err.offset <= flood.len());
+    }
+}
+
+#[test]
+fn non_utf8_files_surface_as_io_errors() {
+    let dir = std::env::temp_dir().join("mmt-json-fuzz-non-utf8");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad-encoding.json");
+    std::fs::write(&path, [b'{', 0xFF, 0xFE, b'}']).unwrap();
+    match json::parse_file(&path) {
+        Err(FileParseError::Io(_)) => {}
+        other => panic!("expected Io error for non-UTF-8 input, got {other:?}"),
+    }
+}
+
+#[test]
+fn deep_but_legal_documents_still_parse() {
+    let doc = format!(
+        "{}1{}",
+        "[".repeat(MAX_DEPTH - 1),
+        "]".repeat(MAX_DEPTH - 1)
+    );
+    let mut v = &json::parse(&doc).unwrap();
+    let mut depth = 0;
+    while let Some(items) = v.as_array() {
+        v = &items[0];
+        depth += 1;
+    }
+    assert_eq!(depth, MAX_DEPTH - 1);
+    assert_eq!(v, &Value::Number(1.0));
+}
