@@ -1,8 +1,8 @@
 //! # mmt-analysis — static analysis and differential checking for MMT
 //!
-//! Four layers over the shared [`mmt_isa::Program`] representation:
+//! Six layers over the shared [`mmt_isa::Program`] representation:
 //!
-//! 1. [`callgraph`] + [`cfg`] + [`dataflow`] — interprocedural call
+//! 1. [`callgraph`] + [`mod@cfg`] + [`dataflow`] — interprocedural call
 //!    graph (`jal`/`jr` return-site summaries), basic-block CFG
 //!    construction, and a forward dataflow pass computing, per register
 //!    and program point, a thread-invariance lattice ([`Invariance`]),
@@ -24,21 +24,30 @@
 //!    static data-race candidate list consumed by the lint layer
 //!    ([`lint_program_with_sharing`]) and validated differentially by
 //!    the `mmtmem` bench binary.
-//! 5. [`oracle`] + [`predict`] — the differential redundancy oracle: a
+//! 5. [`oracle`] + [`mod@predict`] — the differential redundancy oracle: a
 //!    static must-merge / may-merge / must-split classification of every
 //!    instruction, and [`Oracle::check`], which replays the simulator's
 //!    merge log (`mmt_sim` with `record_merge_log`) and independently
 //!    verifies that every dynamic merge was between execute-identical
 //!    instructions. The timing model is oracle-functional, so an unsound
 //!    merge cannot corrupt architected results — this replay is what
-//!    makes such a bug loud instead of silent. [`predict`] turns the
+//!    makes such a bug loud instead of silent. [`predict()`] turns the
 //!    same facts into per-program savings predictions with guaranteed
 //!    bounds, validated dynamically by the `mmtpredict` bench binary.
+//! 6. [`ssa`] + [`valueflow`] — SSA construction over the CFG/dominator
+//!    infrastructure, and the thread-parametric value-flow analysis:
+//!    every SSA value is abstracted as an affine `a + b·tid` polynomial
+//!    ([`ValueClass`]: Identical / AffineTid / ThreadDependent / Top),
+//!    a static model of the Register Sharing Table brackets every PC's
+//!    exec-merge fraction (guaranteed-merge and never-merge claims), and
+//!    the result tightens the LVIP value-identity brackets
+//!    ([`predict_lvip`]). Validated dynamically by the `mmtvalue` bench
+//!    binary against the simulator's per-PC profile.
 //!
 //! ## Example
 //!
 //! ```
-//! use mmt_analysis::{lint_program, Cfg, Invariance, MergeClass, Oracle};
+//! use mmt_analysis::{has_errors, lint_program, Cfg, Invariance, MergeClass, Oracle};
 //! use mmt_isa::{asm::Builder, MemSharing, Reg};
 //!
 //! let mut b = Builder::new();
@@ -48,7 +57,9 @@
 //! b.halt();
 //! let prog = b.build()?;
 //!
-//! assert!(lint_program(&prog).is_empty());
+//! // r3 is never read, so the linter reports a dead-def warning — but
+//! // nothing error-severity.
+//! assert!(!has_errors(&lint_program(&prog)));
 //! assert_eq!(Cfg::build(&prog).blocks().len(), 1);
 //!
 //! let oracle = Oracle::new(&prog, MemSharing::Shared);
@@ -68,7 +79,9 @@ pub mod lint;
 pub mod memdep;
 pub mod oracle;
 pub mod predict;
+pub mod ssa;
 pub mod structure;
+pub mod valueflow;
 
 pub use callgraph::{CallGraph, Function};
 pub use cfg::{BasicBlock, Cfg};
@@ -77,5 +90,11 @@ pub use divergence::{BranchClass, DivergenceAnalysis, DivergencePoint};
 pub use lint::{has_errors, lint_program, lint_program_with_sharing, Lint, LintKind, Severity};
 pub use memdep::{AccessClass, MemAccess, MemDepAnalysis, RacePair};
 pub use oracle::{MergeClass, Oracle, OracleReport};
-pub use predict::{predict, predict_lvip, LvipBracket, LvipPrediction, Prediction};
+pub use predict::{
+    predict, predict_lvip, predict_lvip_with, LvipBracket, LvipPrediction, Prediction,
+};
+pub use ssa::{DefSite, Phi, Ssa, SsaValue, UseSite, ValueId};
 pub use structure::{DomTree, LoopForest, NaturalLoop, PostDomTree};
+pub use valueflow::{
+    MergeBracket, PcValueFlow, ValueClass, ValueFlowAnalysis, ValueFlowOptions, ValueFlowSummary,
+};

@@ -11,6 +11,10 @@
 use crate::cfg::Cfg;
 use crate::dataflow::Analysis;
 use crate::memdep::MemDepAnalysis;
+use crate::oracle::{MergeClass, Oracle};
+use crate::ssa::Ssa;
+use crate::structure::DomTree;
+use crate::valueflow::{ValueClass, ValueFlowAnalysis, ValueFlowOptions};
 use mmt_isa::reg::NUM_REGS;
 use mmt_isa::{Inst, MemSharing, Program};
 use std::fmt;
@@ -74,6 +78,16 @@ pub enum LintKind {
     /// warning, not an error. Only reported by
     /// [`lint_program_with_sharing`] under [`MemSharing::Shared`].
     CrossThreadReadWrite,
+    /// An SSA definition no instruction ever reads: the write is wasted
+    /// work on every thread (writes to `r0` are architecturally
+    /// discarded and not reported).
+    DeadDef,
+    /// The value-flow analysis proves this write thread-identical, but
+    /// the structural merge classification is only may-merge: the
+    /// pipeline must re-discover the sharing dynamically (operand
+    /// comparison or register merging), so the guaranteed redundancy is
+    /// lost. A perf lint, not a correctness issue.
+    IdenticalValueDemoted,
 }
 
 /// One linter finding.
@@ -225,6 +239,41 @@ pub fn lint_program(prog: &Program) -> Vec<Lint> {
         }
     }
 
+    // SSA-backed perf lints. The conservative PerThread model again:
+    // neither lint depends on load values beyond what that model proves.
+    let dom = DomTree::dominators(&cfg);
+    let ssa = Ssa::build(prog, &cfg, &dom);
+    for (pc, v) in ssa.dead_defs() {
+        lints.push(Lint {
+            pc: Some(pc),
+            kind: LintKind::DeadDef,
+            severity: Severity::Warning,
+            message: format!(
+                "`{}` defines {} but no instruction ever reads this definition",
+                insts[pc as usize], v.reg
+            ),
+        });
+    }
+    let vf = ValueFlowAnalysis::run(prog, MemSharing::PerThread, ValueFlowOptions::default());
+    let oracle = Oracle::new(prog, MemSharing::PerThread);
+    for info in vf.infos() {
+        if info.result == Some(ValueClass::Identical)
+            && oracle.class_of(info.pc) == Some(MergeClass::MayMerge)
+        {
+            lints.push(Lint {
+                pc: Some(info.pc),
+                kind: LintKind::IdenticalValueDemoted,
+                severity: Severity::Warning,
+                message: format!(
+                    "`{}` writes a provably thread-identical value but is only \
+                     may-merge: the pipeline must re-discover the sharing \
+                     dynamically",
+                    insts[info.pc as usize]
+                ),
+            });
+        }
+    }
+
     lints.sort_by_key(|l| l.pc);
     lints
 }
@@ -294,8 +343,40 @@ mod tests {
         let mut b = Builder::new();
         b.addi(Reg::R1, Reg::R0, 3);
         b.alu_add(Reg::R2, Reg::R1, Reg::R1);
+        b.li(Reg::R3, RESERVED_WORDS as i64);
+        b.st(Reg::R2, Reg::R3, 0); // every definition is used
         b.halt();
         assert!(lint_program(&b.build().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn dead_def_is_a_warning() {
+        let mut b = Builder::new();
+        b.addi(Reg::R1, Reg::R0, 3); // never read
+        b.halt();
+        let lints = lint_program(&b.build().unwrap());
+        assert_eq!(kinds(&lints), vec![LintKind::DeadDef]);
+        assert!(!has_errors(&lints));
+    }
+
+    #[test]
+    fn identical_value_demoted_is_flagged() {
+        let mut b = Builder::new();
+        b.tid(Reg::R1);
+        // r1 - r1 is 0 in every thread, but structurally the sources are
+        // thread-dependent, so the static class is only may-merge.
+        b.alu(mmt_isa::AluOp::Sub, Reg::R2, Reg::R1, Reg::R1);
+        b.li(Reg::R3, RESERVED_WORDS as i64);
+        b.st(Reg::R2, Reg::R3, 0);
+        b.halt();
+        let lints = lint_program(&b.build().unwrap());
+        assert!(
+            lints
+                .iter()
+                .any(|l| l.kind == LintKind::IdenticalValueDemoted && l.pc == Some(1)),
+            "{lints:?}"
+        );
+        assert!(!has_errors(&lints));
     }
 
     #[test]
@@ -318,7 +399,11 @@ mod tests {
         let mut b = Builder::new();
         b.addi(Reg::R1, Reg::R0, 1);
         let lints = lint_program(&b.build().unwrap());
-        assert_eq!(kinds(&lints), vec![LintKind::FallsOffEnd]);
+        // The unread r1 is also a dead def.
+        assert_eq!(
+            kinds(&lints),
+            vec![LintKind::FallsOffEnd, LintKind::DeadDef]
+        );
     }
 
     #[test]
@@ -338,7 +423,11 @@ mod tests {
         b.alu_add(Reg::R2, Reg::R1, Reg::R1); // r1 never written
         b.halt();
         let lints = lint_program(&b.build().unwrap());
-        assert_eq!(kinds(&lints), vec![LintKind::ReadBeforeWrite]);
+        // The unread r2 is also a dead def.
+        assert_eq!(
+            kinds(&lints),
+            vec![LintKind::ReadBeforeWrite, LintKind::DeadDef]
+        );
         assert!(!has_errors(&lints));
     }
 

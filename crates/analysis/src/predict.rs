@@ -37,10 +37,11 @@
 use crate::cfg::Cfg;
 use crate::dataflow::Invariance;
 use crate::divergence::DivergenceAnalysis;
-use crate::memdep::{AccessClass, MemDepAnalysis};
 use crate::oracle::{classify, MergeClass};
 use crate::structure::{DomTree, LoopForest, PostDomTree};
-use mmt_isa::{MemSharing, Program};
+use crate::valueflow::{ValueClass, ValueFlowAnalysis, ValueFlowOptions};
+use mmt_isa::{Inst, MemSharing, Program};
+use std::collections::BTreeMap;
 
 /// Weight multiplier per loop-nesting level (16 ≈ a short inner loop;
 /// only ratios of weights matter, not the absolute value).
@@ -94,6 +95,11 @@ pub struct Prediction {
     /// Upper bound on the saved fraction: all must- and may-merge work
     /// merges fully, saving `(t-1)/t` of its uops.
     pub savings_upper: f64,
+    /// Refined point estimate of the saved fraction, derived from the
+    /// value-flow analysis' static RST model
+    /// ([`ValueFlowAnalysis::savings_estimate`]) and clamped into the
+    /// guaranteed `[savings_lower, savings_upper]`.
+    pub savings_est: f64,
 }
 
 /// Run the full static stack (CFG + call graph + dominators +
@@ -205,6 +211,23 @@ pub fn predict(prog: &Program, sharing: MemSharing, threads: usize) -> Predictio
     let merge_frac_upper = 1.0;
     let (uniform_branches, divergent_branches) = div.branch_counts();
 
+    let savings_lower = (t - 1.0) / t
+        * if w_total > 0.0 {
+            w_must_untainted / w_total
+        } else {
+            0.0
+        };
+    let savings_upper = (t - 1.0) / t
+        * if w_total > 0.0 {
+            (w_must + w_may) / w_total
+        } else {
+            0.0
+        };
+    let vf = ValueFlowAnalysis::run(prog, sharing, ValueFlowOptions::default());
+    let savings_est = vf
+        .savings_estimate(threads)
+        .clamp(savings_lower, savings_upper);
+
     Prediction {
         threads,
         reachable_insts,
@@ -227,18 +250,9 @@ pub fn predict(prog: &Program, sharing: MemSharing, threads: usize) -> Predictio
         } else {
             1.0
         },
-        savings_lower: (t - 1.0) / t
-            * if w_total > 0.0 {
-                w_must_untainted / w_total
-            } else {
-                0.0
-            },
-        savings_upper: (t - 1.0) / t
-            * if w_total > 0.0 {
-                (w_must + w_may) / w_total
-            } else {
-                0.0
-            },
+        savings_lower,
+        savings_upper,
+        savings_est,
     }
 }
 
@@ -256,10 +270,13 @@ impl Prediction {
 /// LVIP (lookahead value-identical prediction) is only consulted by the
 /// splitter for *merged* loads under per-thread memories whose base
 /// registers compare equal in the RST — so the structural claim
-/// (`predictable`) is the sharp one: at a non-predictable PC the
-/// predictor is never consulted and the measured lookup count must be
-/// exactly zero. Where it *is* consulted the hit rate is genuinely
-/// data-dependent, so the numeric bracket is the sound `[0, 1]`.
+/// (`predictable`) is sharp: at a non-predictable PC the predictor is
+/// never consulted and the measured lookup count must be exactly zero.
+/// Where it *is* consulted the hit rate is data-dependent, so the
+/// default bracket is the sound `[0, 1]` — except where the value-flow
+/// analysis proves the loaded *value* identical across threads
+/// (`value_identical`): there every dispatch-time verification must
+/// succeed, tightening the bracket to `[1, 1]`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LvipBracket {
     /// PC of the load.
@@ -269,8 +286,12 @@ pub struct LvipBracket {
     /// strictly differs across threads, so the RST can never show the
     /// base registers as shared and the LVIP path is unreachable.
     pub predictable: bool,
-    /// All threads compute the same address ([`AccessClass::Invariant`]).
+    /// All threads compute the same address
+    /// ([`crate::memdep::AccessClass::Invariant`]).
     pub addr_invariant: bool,
+    /// The loaded value is provably identical across threads
+    /// ([`ValueClass::Identical`] result in the value-flow analysis).
+    pub value_identical: bool,
     /// Guaranteed lower bound on the measured hit rate.
     pub hit_lower: f64,
     /// Guaranteed upper bound on the measured hit rate.
@@ -286,47 +307,66 @@ impl LvipBracket {
 }
 
 /// Static LVIP prediction for a whole program: one bracket per reachable
-/// load. See [`LvipBracket`].
+/// load, keyed by PC. See [`LvipBracket`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct LvipPrediction {
-    /// One bracket per reachable load, ascending PC.
-    pub loads: Vec<LvipBracket>,
+    /// Bracket per reachable load, keyed by PC.
+    pub loads: BTreeMap<u64, LvipBracket>,
 }
 
 impl LvipPrediction {
     /// The bracket for the load at `pc`, if any.
     pub fn at(&self, pc: u64) -> Option<&LvipBracket> {
-        self.loads
-            .binary_search_by_key(&pc, |b| b.pc)
-            .ok()
-            .map(|i| &self.loads[i])
+        self.loads.get(&pc)
     }
 
     /// How many loads are LVIP-predictable.
     pub fn predictable_count(&self) -> usize {
-        self.loads.iter().filter(|b| b.predictable).count()
+        self.loads.values().filter(|b| b.predictable).count()
     }
 }
 
-/// Run the memory divergence analysis and derive a per-load LVIP
-/// bracket. Under [`MemSharing::Shared`] no load is predictable (the
-/// splitter's LVIP path is gated on per-thread memories), so a dynamic
-/// run must observe zero per-PC LVIP lookups everywhere.
+/// Derive a per-load LVIP bracket from the value-flow analysis (which
+/// itself imports the memory divergence facts). Under
+/// [`MemSharing::Shared`] no load is predictable (the splitter's LVIP
+/// path is gated on per-thread memories), so a dynamic run must observe
+/// zero per-PC LVIP lookups everywhere.
 pub fn predict_lvip(prog: &Program, sharing: MemSharing) -> LvipPrediction {
-    let mem = MemDepAnalysis::run(prog, sharing);
-    let loads = mem
-        .accesses()
+    predict_lvip_with(prog, sharing, ValueFlowOptions::default())
+}
+
+/// [`predict_lvip`] with explicit [`ValueFlowOptions`] — pass
+/// `identical_memories: true` when the per-thread memory images are
+/// known equal to unlock `[1, 1]` brackets on identical-value loads.
+pub fn predict_lvip_with(
+    prog: &Program,
+    sharing: MemSharing,
+    opts: ValueFlowOptions,
+) -> LvipPrediction {
+    let vf = ValueFlowAnalysis::run(prog, sharing, opts);
+    let loads = prog
+        .as_slice()
         .iter()
-        .filter(|a| !a.is_store)
-        .map(|a| {
-            let tid_private = matches!(a.class, AccessClass::TidPrivate { .. });
-            LvipBracket {
-                pc: a.pc,
-                predictable: sharing == MemSharing::PerThread && !tid_private,
-                addr_invariant: a.class == AccessClass::Invariant,
-                hit_lower: 0.0,
+        .enumerate()
+        .filter(|(_, inst)| matches!(inst, Inst::Ld { .. }))
+        .filter_map(|(pc, _)| vf.info_at(pc as u64))
+        .map(|info| {
+            let tid_private = info.addr.map(|c| c.provably_unequal()).unwrap_or(false);
+            let value_identical = info.result == Some(ValueClass::Identical);
+            let predictable = sharing == MemSharing::PerThread && !tid_private;
+            let bracket = LvipBracket {
+                pc: info.pc,
+                predictable,
+                addr_invariant: info.addr == Some(ValueClass::Identical),
+                value_identical,
+                hit_lower: if predictable && value_identical {
+                    1.0
+                } else {
+                    0.0
+                },
                 hit_upper: 1.0,
-            }
+            };
+            (info.pc, bracket)
         })
         .collect();
     LvipPrediction { loads }
@@ -363,6 +403,10 @@ mod tests {
         assert!(
             (p.savings_upper - 0.5).abs() < 1e-12,
             "2 threads: half saved"
+        );
+        assert!(
+            p.savings_est >= p.savings_lower && p.savings_est <= p.savings_upper,
+            "refined estimate clamped into the guaranteed bounds: {p:?}"
         );
     }
 
@@ -456,9 +500,23 @@ mod tests {
         );
         assert_eq!(p.predictable_count(), 1);
 
+        // Verified-identical per-thread memories tighten the invariant
+        // load's bracket to [1, 1]: every LVIP verification must succeed.
+        let p = predict_lvip_with(
+            &prog,
+            MemSharing::PerThread,
+            crate::valueflow::ValueFlowOptions {
+                identical_memories: true,
+            },
+        );
+        let inv = p.at(1).unwrap();
+        assert!(inv.value_identical);
+        assert_eq!(inv.hit_lower, 1.0);
+        assert!(inv.brackets(1.0) && !inv.brackets(0.5));
+
         // Shared memories: the splitter's LVIP path is gated off.
         let p = predict_lvip(&prog, MemSharing::Shared);
-        assert!(p.loads.iter().all(|b| !b.predictable));
+        assert!(p.loads.values().all(|b| !b.predictable));
     }
 
     #[test]

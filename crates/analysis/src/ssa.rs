@@ -1,0 +1,473 @@
+//! Static single-assignment form over the CFG (layer 6a).
+//!
+//! Built with the textbook dominance-frontier algorithm on top of
+//! [`DomTree`]: one implicit *entry definition* per architected register
+//! (registers start holding 0 in every thread), phi nodes at iterated
+//! dominance frontiers of definition sites, and a renaming walk over the
+//! dominator tree. The result is a def–use graph:
+//!
+//! * every instruction's source registers resolve to SSA value ids
+//!   ([`Ssa::uses_at`]),
+//! * every destination write creates a value ([`Ssa::def_at`]),
+//! * every value records where it is consumed ([`SsaValue::uses`]).
+//!
+//! Two consumers sit on top: the value-flow lattice
+//! ([`crate::valueflow`]) annotates each SSA value with a thread-
+//! parametric affine class, and the linter reports *dead definitions* —
+//! values no reachable instruction or phi ever reads.
+//!
+//! The zero register is special-cased exactly like the pipeline's RST
+//! treats it: writes to `r0` are architecturally discarded, so they
+//! produce no SSA value and every `r0` read resolves to the entry
+//! definition (constant 0).
+//!
+//! Unreachable blocks are not renamed: they never execute, so their
+//! would-be definitions and uses do not appear in the graph at all.
+
+use crate::cfg::Cfg;
+use crate::structure::DomTree;
+use mmt_isa::reg::{Reg, NUM_REGS};
+use mmt_isa::Program;
+
+/// Index of an SSA value in [`Ssa::values`].
+pub type ValueId = usize;
+
+/// Where an SSA value is defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefSite {
+    /// The implicit start-of-program definition (all registers read 0).
+    Entry,
+    /// The destination write of the instruction at this PC.
+    Inst(u64),
+    /// A phi node at the head of this block.
+    Phi(usize),
+}
+
+/// Where an SSA value is consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UseSite {
+    /// A source operand of the instruction at this PC.
+    Inst(u64),
+    /// An incoming argument of a phi node at the head of this block.
+    Phi(usize),
+}
+
+/// One SSA value: a register version with its definition site and all
+/// consumers.
+#[derive(Debug, Clone)]
+pub struct SsaValue {
+    /// The architected register this value is a version of.
+    pub reg: Reg,
+    /// Where the value is defined.
+    pub site: DefSite,
+    /// Every place the value is read.
+    pub uses: Vec<UseSite>,
+}
+
+/// A phi node: the merge of one register's incoming versions at a block
+/// with multiple predecessors.
+#[derive(Debug, Clone)]
+pub struct Phi {
+    /// The merged register.
+    pub reg: Reg,
+    /// The value the phi defines.
+    pub dest: ValueId,
+    /// Incoming `(predecessor block, value)` pairs, one per renamed
+    /// predecessor.
+    pub args: Vec<(usize, ValueId)>,
+}
+
+/// SSA form of a program: values, per-PC def/use resolution, and per-
+/// block phi nodes.
+#[derive(Debug, Clone)]
+pub struct Ssa {
+    values: Vec<SsaValue>,
+    /// Per-PC defined value (None: no destination, `r0` destination, or
+    /// unreachable).
+    defs: Vec<Option<ValueId>>,
+    /// Per-PC resolved source values, in [`mmt_isa::Inst::sources`]
+    /// order (empty for unreachable PCs).
+    uses: Vec<Vec<ValueId>>,
+    /// Phi nodes per block (empty for unreachable blocks).
+    phis: Vec<Vec<Phi>>,
+}
+
+impl Ssa {
+    /// Construct SSA form for `prog` over its `cfg` and dominator tree.
+    pub fn build(prog: &Program, cfg: &Cfg, dom: &DomTree) -> Ssa {
+        Builder::new(prog, cfg, dom).run()
+    }
+
+    /// All SSA values.
+    pub fn values(&self) -> &[SsaValue] {
+        &self.values
+    }
+
+    /// The value defined by the instruction at `pc`, if any.
+    pub fn def_at(&self, pc: u64) -> Option<ValueId> {
+        self.defs.get(pc as usize).copied().flatten()
+    }
+
+    /// The values consumed by the instruction at `pc`, in source order.
+    /// Empty for PCs without sources and for unreachable PCs.
+    pub fn uses_at(&self, pc: u64) -> &[ValueId] {
+        self.uses
+            .get(pc as usize)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Phi nodes at the head of `block`.
+    pub fn phis_in(&self, block: usize) -> &[Phi] {
+        self.phis.get(block).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Instruction-defined values nothing ever reads — not by an
+    /// instruction, not by a phi. Entry definitions and phis are
+    /// excluded: a never-read register or an unused merge is not an
+    /// actionable instruction-level lint.
+    pub fn dead_defs(&self) -> impl Iterator<Item = (u64, &SsaValue)> + '_ {
+        self.values.iter().filter_map(|v| match v.site {
+            DefSite::Inst(pc) if v.uses.is_empty() => Some((pc, v)),
+            _ => None,
+        })
+    }
+}
+
+struct Builder<'a> {
+    prog: &'a Program,
+    cfg: &'a Cfg,
+    dom: &'a DomTree,
+    /// Dominator-tree children.
+    children: Vec<Vec<usize>>,
+    /// Dominance frontier per block.
+    frontier: Vec<Vec<usize>>,
+    ssa: Ssa,
+    /// Renaming stacks, one per architected register.
+    stacks: Vec<Vec<ValueId>>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(prog: &'a Program, cfg: &'a Cfg, dom: &'a DomTree) -> Builder<'a> {
+        let nb = cfg.blocks().len();
+        let np = prog.as_slice().len();
+        Builder {
+            prog,
+            cfg,
+            dom,
+            children: vec![Vec::new(); nb],
+            frontier: vec![Vec::new(); nb],
+            ssa: Ssa {
+                values: Vec::new(),
+                defs: vec![None; np],
+                uses: vec![Vec::new(); np],
+                phis: vec![Vec::new(); nb],
+            },
+            stacks: vec![Vec::new(); NUM_REGS],
+        }
+    }
+
+    fn run(mut self) -> Ssa {
+        if self.cfg.blocks().is_empty() {
+            return self.ssa;
+        }
+        self.compute_dom_children_and_frontier();
+        self.place_phis();
+        // Entry definitions: every register starts as the constant 0.
+        for r in Reg::all() {
+            let id = self.new_value(r, DefSite::Entry);
+            self.stacks[r.index()].push(id);
+        }
+        self.rename(self.cfg.entry());
+        self.ssa
+    }
+
+    fn compute_dom_children_and_frontier(&mut self) {
+        let blocks = self.cfg.blocks();
+        for b in 0..blocks.len() {
+            if let Some(idom) = self.dom.idom(b) {
+                self.children[idom].push(b);
+            }
+        }
+        // Cooper–Harvey–Kennedy dominance frontiers: for each join block,
+        // walk each predecessor up to the block's idom.
+        for (b, blk) in blocks.iter().enumerate() {
+            if blk.preds.len() < 2 || !self.cfg.is_reachable(b) {
+                continue;
+            }
+            let Some(idom_b) = self.dom.idom(b) else {
+                continue;
+            };
+            for &p in &blk.preds {
+                if !self.cfg.is_reachable(p) {
+                    continue;
+                }
+                let mut runner = p;
+                while runner != idom_b {
+                    if !self.frontier[runner].contains(&b) {
+                        self.frontier[runner].push(b);
+                    }
+                    match self.dom.idom(runner) {
+                        Some(next) => runner = next,
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Iterated-dominance-frontier phi placement, per register.
+    fn place_phis(&mut self) {
+        let blocks = self.cfg.blocks();
+        // Definition blocks per register. The entry block implicitly
+        // defines every register (the entry definitions).
+        let mut def_blocks: Vec<Vec<usize>> = vec![vec![self.cfg.entry()]; NUM_REGS];
+        for (b, blk) in blocks.iter().enumerate() {
+            if !self.cfg.is_reachable(b) {
+                continue;
+            }
+            for pc in blk.pcs() {
+                if let Some(rd) = self.prog.as_slice()[pc as usize].dest() {
+                    if !rd.is_zero() {
+                        def_blocks[rd.index()].push(b);
+                    }
+                }
+            }
+        }
+        for r in Reg::all() {
+            if r.is_zero() {
+                continue;
+            }
+            let mut has_phi = vec![false; blocks.len()];
+            let mut work: Vec<usize> = def_blocks[r.index()].clone();
+            while let Some(b) = work.pop() {
+                // Split borrows: take the frontier list by index.
+                for i in 0..self.frontier[b].len() {
+                    let f = self.frontier[b][i];
+                    if std::mem::replace(&mut has_phi[f], true) {
+                        continue;
+                    }
+                    let dest = self.new_value(r, DefSite::Phi(f));
+                    self.ssa.phis[f].push(Phi {
+                        reg: r,
+                        dest,
+                        args: Vec::new(),
+                    });
+                    work.push(f);
+                }
+            }
+        }
+    }
+
+    fn new_value(&mut self, reg: Reg, site: DefSite) -> ValueId {
+        let id = self.ssa.values.len();
+        self.ssa.values.push(SsaValue {
+            reg,
+            site,
+            uses: Vec::new(),
+        });
+        id
+    }
+
+    fn top(&self, r: Reg) -> ValueId {
+        *self.stacks[r.index()]
+            .last()
+            .expect("renaming keeps at least the entry definition on every stack")
+    }
+
+    /// Standard renaming walk over the dominator tree (iterative: an
+    /// explicit stack avoids recursion depth limits on long CFG chains).
+    fn rename(&mut self, root: usize) {
+        enum Step {
+            Enter(usize),
+            Exit { pushes: Vec<Reg> },
+        }
+        let mut walk = vec![Step::Enter(root)];
+        while let Some(step) = walk.pop() {
+            match step {
+                Step::Exit { pushes } => {
+                    for r in pushes {
+                        self.stacks[r.index()].pop();
+                    }
+                }
+                Step::Enter(b) => {
+                    let mut pushes: Vec<Reg> = Vec::new();
+                    // Phi destinations define before any instruction.
+                    for i in 0..self.ssa.phis[b].len() {
+                        let (reg, dest) = {
+                            let p = &self.ssa.phis[b][i];
+                            (p.reg, p.dest)
+                        };
+                        self.stacks[reg.index()].push(dest);
+                        pushes.push(reg);
+                    }
+                    // Instructions: rename uses, then the definition.
+                    let (start, end) = {
+                        let blk = &self.cfg.blocks()[b];
+                        (blk.start, blk.end)
+                    };
+                    for pc in start..end {
+                        let inst = self.prog.as_slice()[pc as usize];
+                        for r in inst.sources().iter() {
+                            let v = self.top(r);
+                            self.ssa.uses[pc as usize].push(v);
+                            self.ssa.values[v].uses.push(UseSite::Inst(pc));
+                        }
+                        if let Some(rd) = inst.dest() {
+                            if !rd.is_zero() {
+                                let id = self.new_value(rd, DefSite::Inst(pc));
+                                self.ssa.defs[pc as usize] = Some(id);
+                                self.stacks[rd.index()].push(id);
+                                pushes.push(rd);
+                            }
+                        }
+                    }
+                    // Fill successor phi arguments from the current tops.
+                    for s in 0..self.cfg.blocks()[b].succs.len() {
+                        let succ = self.cfg.blocks()[b].succs[s];
+                        for i in 0..self.ssa.phis[succ].len() {
+                            let reg = self.ssa.phis[succ][i].reg;
+                            let v = self.top(reg);
+                            self.ssa.phis[succ][i].args.push((b, v));
+                            self.ssa.values[v].uses.push(UseSite::Phi(succ));
+                        }
+                    }
+                    walk.push(Step::Exit { pushes });
+                    for &c in self.children[b].iter().rev() {
+                        walk.push(Step::Enter(c));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_isa::asm::Builder as Asm;
+    use mmt_isa::Reg;
+
+    fn ssa_of(prog: &Program) -> (Ssa, Cfg) {
+        let cfg = Cfg::build(prog);
+        let dom = DomTree::dominators(&cfg);
+        (Ssa::build(prog, &cfg, &dom), cfg)
+    }
+
+    #[test]
+    fn straight_line_defs_and_uses_chain() {
+        let mut b = Asm::new();
+        b.addi(Reg::R1, Reg::R0, 5); // pc 0
+        b.addi(Reg::R2, Reg::R1, 1); // pc 1
+        b.addi(Reg::R1, Reg::R2, 2); // pc 2: redefinition
+        b.halt();
+        let prog = b.build().unwrap();
+        let (ssa, _) = ssa_of(&prog);
+
+        let d0 = ssa.def_at(0).unwrap();
+        let d1 = ssa.def_at(1).unwrap();
+        let d2 = ssa.def_at(2).unwrap();
+        assert_ne!(d0, d2, "redefinition creates a fresh version");
+        assert_eq!(ssa.uses_at(1), &[d0]);
+        assert_eq!(ssa.uses_at(2), &[d1]);
+        // pc 0 reads r0 — the entry definition.
+        let r0_entry = ssa.uses_at(0)[0];
+        assert_eq!(ssa.values()[r0_entry].site, DefSite::Entry);
+        assert_eq!(ssa.values()[r0_entry].reg, Reg::R0);
+    }
+
+    #[test]
+    fn diamond_places_a_phi_at_the_join() {
+        let mut b = Asm::new();
+        let (els, join) = (b.label(), b.label());
+        b.tid(Reg::R1);
+        b.beq(Reg::R1, Reg::R0, els);
+        b.addi(Reg::R2, Reg::R0, 1);
+        b.jmp(join);
+        b.bind(els);
+        b.addi(Reg::R2, Reg::R0, 2);
+        b.bind(join);
+        b.addi(Reg::R3, Reg::R2, 0); // reads the merged r2
+        b.halt();
+        let prog = b.build().unwrap();
+        let (ssa, cfg) = ssa_of(&prog);
+
+        let join_block = cfg.block_of(5).unwrap();
+        let phis = ssa.phis_in(join_block);
+        let r2_phi = phis
+            .iter()
+            .find(|p| p.reg == Reg::R2)
+            .expect("r2 merges at the join");
+        assert_eq!(r2_phi.args.len(), 2, "one argument per predecessor");
+        let (a, b_) = (r2_phi.args[0].1, r2_phi.args[1].1);
+        assert_ne!(a, b_, "distinct versions flow in");
+        // The join read resolves to the phi destination.
+        assert_eq!(ssa.uses_at(5), &[r2_phi.dest]);
+    }
+
+    #[test]
+    fn loop_carried_value_merges_at_the_header() {
+        let mut b = Asm::new();
+        let top = b.label();
+        b.addi(Reg::R1, Reg::R0, 4);
+        b.bind(top);
+        b.addi(Reg::R1, Reg::R1, -1);
+        b.bne(Reg::R1, Reg::R0, top);
+        b.halt();
+        let prog = b.build().unwrap();
+        let (ssa, cfg) = ssa_of(&prog);
+
+        let header = cfg.block_of(1).unwrap();
+        let phi = ssa
+            .phis_in(header)
+            .iter()
+            .find(|p| p.reg == Reg::R1)
+            .expect("loop-carried r1 needs a phi");
+        assert_eq!(phi.args.len(), 2, "preheader + back edge");
+        assert_eq!(ssa.uses_at(1), &[phi.dest]);
+    }
+
+    #[test]
+    fn dead_def_is_reported_and_used_defs_are_not() {
+        let mut b = Asm::new();
+        b.addi(Reg::R1, Reg::R0, 5); // used below
+        b.addi(Reg::R2, Reg::R0, 9); // never read
+        b.addi(Reg::R3, Reg::R1, 1); // also never read
+        b.halt();
+        let prog = b.build().unwrap();
+        let (ssa, _) = ssa_of(&prog);
+        let dead: Vec<u64> = ssa.dead_defs().map(|(pc, _)| pc).collect();
+        assert_eq!(dead, vec![1, 2]);
+    }
+
+    #[test]
+    fn r0_writes_produce_no_value() {
+        let mut b = Asm::new();
+        b.addi(Reg::R0, Reg::R0, 7); // discarded
+        b.addi(Reg::R1, Reg::R0, 1); // still reads constant 0
+        b.halt();
+        let prog = b.build().unwrap();
+        let (ssa, _) = ssa_of(&prog);
+        assert_eq!(ssa.def_at(0), None);
+        let v = ssa.uses_at(1)[0];
+        assert_eq!(ssa.values()[v].site, DefSite::Entry);
+        // The never-read r1 at pc 1 is a real dead def; the discarded r0
+        // write at pc 0 is not.
+        let dead: Vec<u64> = ssa.dead_defs().map(|(pc, _)| pc).collect();
+        assert_eq!(dead, vec![1], "r0 writes are not dead defs");
+    }
+
+    #[test]
+    fn unreachable_code_is_not_renamed() {
+        let mut b = Asm::new();
+        let end = b.label();
+        b.jmp(end);
+        b.addi(Reg::R1, Reg::R0, 1); // unreachable
+        b.bind(end);
+        b.halt();
+        let prog = b.build().unwrap();
+        let (ssa, _) = ssa_of(&prog);
+        assert_eq!(ssa.def_at(1), None);
+        assert!(ssa.uses_at(1).is_empty());
+    }
+}

@@ -5,7 +5,7 @@
 
 use mmt_analysis::{
     lint_program, lint_program_with_sharing, predict_lvip, AccessClass, Analysis, Cfg, LintKind,
-    MemDepAnalysis,
+    MemDepAnalysis, ValueClass, ValueFlowAnalysis, ValueFlowOptions,
 };
 use mmt_isa::inst::Inst;
 use mmt_isa::{AluOp, BrCond, FpuOp, MemSharing, Program, Reg};
@@ -240,10 +240,115 @@ proptest! {
             );
         }
         let lvip = predict_lvip(&prog, MemSharing::Shared);
-        for b in &lvip.loads {
+        for b in lvip.loads.values() {
             prop_assert!(b.addr_invariant, "pc {}", b.pc);
             prop_assert_eq!(b.hit_upper, 1.0);
             prop_assert!(b.brackets(1.0), "a perfect hit rate is always allowed");
+        }
+    }
+
+    /// The value-flow analysis is total: no panics on any program shape
+    /// or sharing model, facts exist for exactly the reachable PCs, the
+    /// per-PC claims are consistent (never-merge and guaranteed-merge
+    /// are mutually exclusive, brackets are well-ordered), and the
+    /// summary fractions are sane.
+    #[test]
+    fn valueflow_is_total_and_consistent(
+        insts in prop::collection::vec(arb_inst(32), 1..32)
+    ) {
+        let prog = Program::from_insts(insts);
+        let cfg = Cfg::build(&prog);
+        for sharing in [MemSharing::Shared, MemSharing::PerThread] {
+            let vf = ValueFlowAnalysis::run(&prog, sharing, ValueFlowOptions::default());
+            let mut seen = 0usize;
+            for blk in cfg.blocks() {
+                let idx = cfg.block_of(blk.start).unwrap();
+                for pc in blk.pcs() {
+                    let info = vf.info_at(pc);
+                    prop_assert_eq!(
+                        info.is_some(),
+                        cfg.is_reachable(idx),
+                        "facts exist iff the block is reachable (pc {})", pc
+                    );
+                    let Some(info) = info else { continue };
+                    seen += 1;
+                    prop_assert!(
+                        !(info.never_merge && info.guaranteed_merge),
+                        "contradictory claims at pc {}", pc
+                    );
+                    prop_assert!(info.bracket.lower <= info.bracket.upper, "pc {}", pc);
+                    prop_assert!(
+                        info.bracket.contains(info.bracket.lower)
+                            && info.bracket.contains(info.bracket.upper)
+                    );
+                }
+            }
+            let s = vf.summary();
+            prop_assert_eq!(s.reachable_insts, seen);
+            prop_assert!(s.guaranteed_merge_frac <= s.ideal_merge_frac + 1e-9);
+            prop_assert!((0.0..=1.0).contains(&s.guaranteed_merge_frac));
+            prop_assert!((0.0..=1.0).contains(&s.ideal_merge_frac));
+            for v in 0..vf.ssa().values().len() {
+                let _ = vf.class_of_value(v); // total over every SSA value
+            }
+        }
+    }
+
+    /// Statically divergence-free programs (no `tid`, shared memory)
+    /// have no provably-unequal values, so no PC can be claimed
+    /// never-merge: every exec-merge bracket must include 1.0.
+    #[test]
+    fn divergence_free_brackets_include_full_merging(
+        insts in prop::collection::vec(arb_inst(32), 1..32)
+    ) {
+        let insts: Vec<Inst> = insts
+            .into_iter()
+            .map(|i| match i {
+                Inst::Tid { .. } => Inst::Nop,
+                other => other,
+            })
+            .collect();
+        let prog = Program::from_insts(insts);
+        let vf = ValueFlowAnalysis::run(&prog, MemSharing::Shared, ValueFlowOptions::default());
+        for info in vf.infos() {
+            prop_assert!(
+                !info.never_merge && info.bracket.contains(1.0),
+                "tid-free program claimed never-merge at pc {}", info.pc
+            );
+        }
+        prop_assert!((vf.summary().ideal_merge_frac - 1.0).abs() < 1e-12);
+    }
+
+    /// In a store-free program, an ALU-only instruction whose sources
+    /// all classify Identical must produce an Identical result: the
+    /// operators are deterministic, so equal inputs give equal outputs.
+    #[test]
+    fn identical_inputs_to_alu_chains_stay_identical(
+        insts in prop::collection::vec(arb_inst(32), 1..32)
+    ) {
+        let insts: Vec<Inst> = insts
+            .into_iter()
+            .map(|i| match i {
+                Inst::St { .. } => Inst::Nop,
+                other => other,
+            })
+            .collect();
+        let prog = Program::from_insts(insts.clone());
+        let vf = ValueFlowAnalysis::run(&prog, MemSharing::Shared, ValueFlowOptions::default());
+        for info in vf.infos() {
+            let alu = matches!(
+                insts[info.pc as usize],
+                Inst::Alu { .. } | Inst::AluI { .. } | Inst::Fpu { .. }
+            );
+            if alu
+                && info.result.is_some()
+                && info.sources.iter().all(|c| *c == ValueClass::Identical)
+            {
+                prop_assert_eq!(
+                    info.result, Some(ValueClass::Identical),
+                    "deterministic op on identical inputs at pc {}", info.pc
+                );
+            }
         }
     }
 }

@@ -32,29 +32,26 @@
 //!
 //! ```text
 //! mmtmem --all-workloads
-//! mmtmem --app swaptions --threads 2,4 --scale 16
+//! mmtmem --apps swaptions --threads 2,4 --scale 16
 //! ```
 //!
-//! | flag | default | meaning |
-//! |---|---|---|
-//! | `--all-workloads` | —     | shorthand for `--app all` |
-//! | `--app NAME`      | `all` | suite app name, or `all` |
-//! | `--threads LIST`  | `2,4` | comma-separated thread counts |
-//! | `--scale N`       | `16`  | iteration divisor for app instances |
-//! | `--jobs N`        | cores | parallel cases |
+//! Flags are the unified gate set ([`mmt_bench::gate`]):
+//! `--all-workloads`, `--apps LIST` (alias `--app`), `--threads LIST`,
+//! `--scale N`, `--jobs N`, `--format text|json`.
 //!
 //! Output is a GitHub-flavoured markdown table (suitable for a CI job
 //! summary) and `results/BENCH_memdep.json`. Exit status: 0 clean,
 //! 1 soundness violations, 2 usage errors.
 
 use mmt_analysis::{predict_lvip, AccessClass, MemDepAnalysis};
-use mmt_bench::cli::{fail_run, fail_usage, format_json_arg};
-use mmt_bench::sweep::{jobs_arg, run_parallel, write_report};
-use mmt_bench::{arg_value, to_run_spec};
+use mmt_bench::cli::fail_run;
+use mmt_bench::gate::{finish_gate, status_cell, GateRow, GateSpec};
+use mmt_bench::sweep::run_parallel;
+use mmt_bench::to_run_spec;
 use mmt_isa::interp::{Machine, Memory};
 use mmt_isa::{Inst, MemSharing, Program};
 use mmt_sim::{MmtLevel, SimConfig, Simulator};
-use mmt_workloads::{all_apps, app_by_name, App};
+use mmt_workloads::App;
 use std::collections::{BTreeSet, HashMap};
 
 /// Per-thread functional-run step budget: suite apps at the default
@@ -84,6 +81,18 @@ struct MemRow {
     soundness_violations: Vec<String>,
 }
 
+impl GateRow for MemRow {
+    fn app(&self) -> &str {
+        &self.app
+    }
+    fn threads(&self) -> usize {
+        self.threads
+    }
+    fn violations(&self) -> &[String] {
+        &self.soundness_violations
+    }
+}
+
 #[derive(Debug, Clone, serde::Serialize)]
 struct MemReport {
     scale: u64,
@@ -94,64 +103,21 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     // Only failures are emitted as JSON objects; the success output
     // stays the markdown table CI renders.
-    let json = format_json_arg(&args).unwrap_or_else(|e| fail_usage(false, e));
-    let app_name = if args.iter().any(|a| a == "--all-workloads") {
-        "all".to_string()
-    } else {
-        arg_value(&args, "--app").unwrap_or_else(|| "all".into())
-    };
-    let threads_list: Vec<usize> = arg_value(&args, "--threads")
-        .unwrap_or_else(|| "2,4".into())
-        .split(',')
-        .map(|s| {
-            s.trim().parse().unwrap_or_else(|_| {
-                fail_usage(json, "--threads takes a comma-separated list like 2,4")
-            })
-        })
-        .collect();
-    let scale: u64 = arg_value(&args, "--scale")
-        .map(|v| {
-            v.parse()
-                .unwrap_or_else(|_| fail_usage(json, "--scale takes a number"))
-        })
-        .unwrap_or(16);
-    let jobs = jobs_arg(&args);
-
-    let apps: Vec<App> = if app_name == "all" {
-        all_apps()
-    } else {
-        vec![app_by_name(&app_name).unwrap_or_else(|| {
-            fail_usage(
-                json,
-                format!(
-                    "unknown app '{app_name}'; known: {}",
-                    all_apps()
-                        .iter()
-                        .map(|a| a.name)
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                ),
-            )
-        })]
-    };
-
-    let cases: Vec<(App, usize)> = apps
-        .iter()
-        .flat_map(|a| threads_list.iter().map(move |&t| (a.clone(), t)))
-        .collect();
-    let rows = run_parallel(&cases, jobs, |(app, threads)| {
-        validate_case(app, *threads, scale)
+    let spec = GateSpec::from_args(&args);
+    let rows = run_parallel(&spec.cases(), spec.jobs, |(app, threads)| {
+        validate_case(app, *threads, spec.scale)
     });
 
-    println!("## mmtmem — static memory classification vs. dynamic addresses (scale {scale})\n");
+    println!(
+        "## mmtmem — static memory classification vs. dynamic addresses (scale {})\n",
+        spec.scale
+    );
     println!(
         "| app | t | mem | classes (inv/priv/shared) | races (ww/total) | lvip pred | \
          merged/diverged | lvip l/h/m | dyn pairs | soundness |"
     );
     println!("|---|---|---|---|---|---|---|---|---|---|");
-    let mut violations = 0usize;
     for r in &rows {
-        violations += r.soundness_violations.len();
         println!(
             "| {} | {} | {} | {}/{}/{} | {}/{} | {} | {}/{} | {}/{}/{} | {} | {} |",
             r.app,
@@ -169,29 +135,16 @@ fn main() {
             r.lvip_hits,
             r.lvip_misses,
             r.dynamic_conflict_pairs,
-            if r.soundness_violations.is_empty() {
-                "ok".to_string()
-            } else {
-                format!("FAIL ({})", r.soundness_violations.len())
-            },
+            status_cell(&r.soundness_violations),
         );
     }
     println!();
-    for r in &rows {
-        for v in &r.soundness_violations {
-            eprintln!("SOUNDNESS {} t={}: {v}", r.app, r.threads);
-        }
-    }
 
-    let report = MemReport { scale, rows };
-    match write_report("memdep", &report) {
-        Ok(path) => println!("\nwrote {}", path.display()),
-        Err(e) => fail_run(json, format!("cannot write report: {e}")),
-    }
-    if violations > 0 {
-        fail_run(json, format!("mmtmem: {violations} soundness violation(s)"));
-    }
-    println!("mmtmem: all checks passed");
+    let report = MemReport {
+        scale: spec.scale,
+        rows,
+    };
+    finish_gate("mmtmem", "memdep", spec.json, &report, &report.rows);
 }
 
 /// What the functional interleaving observed at one (pc, thread).

@@ -19,27 +19,24 @@
 //!
 //! ```text
 //! mmtpredict --all-workloads
-//! mmtpredict --app swaptions --threads 2,4 --scale 16
+//! mmtpredict --apps swaptions --threads 2,4 --scale 16
 //! ```
 //!
-//! | flag | default | meaning |
-//! |---|---|---|
-//! | `--all-workloads` | —     | shorthand for `--app all` |
-//! | `--app NAME`      | `all` | suite app name, or `all` |
-//! | `--threads LIST`  | `2,4` | comma-separated thread counts |
-//! | `--scale N`       | `16`  | iteration divisor for app instances |
-//! | `--jobs N`        | cores | parallel simulations |
+//! Flags are the unified gate set ([`mmt_bench::gate`]):
+//! `--all-workloads`, `--apps LIST` (alias `--app`), `--threads LIST`,
+//! `--scale N`, `--jobs N`, `--format text|json`.
 //!
 //! Output is a GitHub-flavoured markdown table (suitable for a CI job
 //! summary) and `results/BENCH_predict.json`. Exit status: 0 clean,
 //! 1 soundness/bracket violations, 2 usage errors.
 
 use mmt_analysis::{predict, MergeClass, Oracle, Prediction};
-use mmt_bench::cli::{fail_run, fail_usage, format_json_arg};
-use mmt_bench::sweep::{jobs_arg, run_parallel, write_report};
-use mmt_bench::{arg_value, to_run_spec};
+use mmt_bench::cli::fail_run;
+use mmt_bench::gate::{finish_gate, status_cell, GateRow, GateSpec};
+use mmt_bench::sweep::run_parallel;
+use mmt_bench::to_run_spec;
 use mmt_sim::{MmtLevel, SimConfig, Simulator};
-use mmt_workloads::{all_apps, app_by_name, App};
+use mmt_workloads::App;
 
 #[derive(Debug, Clone, serde::Serialize)]
 struct PredictRow {
@@ -59,11 +56,24 @@ struct PredictRow {
     bracket_ok: bool,
     expected_split_degree: f64,
     savings_lower: f64,
+    savings_est: f64,
     savings_upper: f64,
     merge_events: usize,
     soundness_violations: Vec<String>,
     coverage_gap_split_pcs: usize,
     coverage_gap_unmerged_pcs: usize,
+}
+
+impl GateRow for PredictRow {
+    fn app(&self) -> &str {
+        &self.app
+    }
+    fn threads(&self) -> usize {
+        self.threads
+    }
+    fn violations(&self) -> &[String] {
+        &self.soundness_violations
+    }
 }
 
 #[derive(Debug, Clone, serde::Serialize)]
@@ -76,68 +86,25 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     // Only failures are emitted as JSON objects; the success output
     // stays the markdown table CI renders.
-    let json = format_json_arg(&args).unwrap_or_else(|e| fail_usage(false, e));
-    let app_name = if args.iter().any(|a| a == "--all-workloads") {
-        "all".to_string()
-    } else {
-        arg_value(&args, "--app").unwrap_or_else(|| "all".into())
-    };
-    let threads_list: Vec<usize> = arg_value(&args, "--threads")
-        .unwrap_or_else(|| "2,4".into())
-        .split(',')
-        .map(|s| {
-            s.trim().parse().unwrap_or_else(|_| {
-                fail_usage(json, "--threads takes a comma-separated list like 2,4")
-            })
-        })
-        .collect();
-    let scale: u64 = arg_value(&args, "--scale")
-        .map(|v| {
-            v.parse()
-                .unwrap_or_else(|_| fail_usage(json, "--scale takes a number"))
-        })
-        .unwrap_or(16);
-    let jobs = jobs_arg(&args);
-
-    let apps: Vec<App> = if app_name == "all" {
-        all_apps()
-    } else {
-        vec![app_by_name(&app_name).unwrap_or_else(|| {
-            fail_usage(
-                json,
-                format!(
-                    "unknown app '{app_name}'; known: {}",
-                    all_apps()
-                        .iter()
-                        .map(|a| a.name)
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                ),
-            )
-        })]
-    };
-
-    let cases: Vec<(App, usize)> = apps
-        .iter()
-        .flat_map(|a| threads_list.iter().map(move |&t| (a.clone(), t)))
-        .collect();
-    let rows = run_parallel(&cases, jobs, |(app, threads)| {
-        validate_case(app, *threads, scale)
+    let spec = GateSpec::from_args(&args);
+    let rows = run_parallel(&spec.cases(), spec.jobs, |(app, threads)| {
+        validate_case(app, *threads, spec.scale)
     });
 
-    println!("## mmtpredict — static prediction vs. dynamic profile (scale {scale})\n");
+    println!(
+        "## mmtpredict — static prediction vs. dynamic profile (scale {})\n",
+        spec.scale
+    );
     println!(
         "| app | t | classes (must/may/split) | div br | merge frac lower/est/upper | measured | \
-         split deg | gaps (split/unmerged) | soundness |"
+         split deg | savings est | gaps (split/unmerged) | soundness |"
     );
-    println!("|---|---|---|---|---|---|---|---|---|");
-    let mut violations = 0usize;
+    println!("|---|---|---|---|---|---|---|---|---|---|");
     let mut gap_pcs = 0usize;
     for r in &rows {
-        violations += r.soundness_violations.len();
         gap_pcs += r.coverage_gap_split_pcs + r.coverage_gap_unmerged_pcs;
         println!(
-            "| {} | {} | {}/{}/{} | {} | {:.3}/{:.3}/{:.3} | {:.3} | {:.2} | {}/{} | {} |",
+            "| {} | {} | {}/{}/{} | {} | {:.3}/{:.3}/{:.3} | {:.3} | {:.2} | {:.3} | {}/{} | {} |",
             r.app,
             r.threads,
             r.must_merge,
@@ -149,21 +116,13 @@ fn main() {
             r.merge_frac_upper,
             r.merge_frac_measured,
             r.expected_split_degree,
+            r.savings_est,
             r.coverage_gap_split_pcs,
             r.coverage_gap_unmerged_pcs,
-            if r.soundness_violations.is_empty() && r.bracket_ok {
-                "ok".to_string()
-            } else {
-                format!("FAIL ({})", r.soundness_violations.len())
-            },
+            status_cell(&r.soundness_violations),
         );
     }
     println!();
-    for r in &rows {
-        for v in &r.soundness_violations {
-            eprintln!("SOUNDNESS {} t={}: {v}", r.app, r.threads);
-        }
-    }
     if gap_pcs > 0 {
         println!(
             "perf lint: {gap_pcs} must-merge PC(s) the pipeline failed to merge \
@@ -171,18 +130,11 @@ fn main() {
         );
     }
 
-    let report = PredictReport { scale, rows };
-    match write_report("predict", &report) {
-        Ok(path) => println!("\nwrote {}", path.display()),
-        Err(e) => fail_run(json, format!("cannot write report: {e}")),
-    }
-    if violations > 0 || report.rows.iter().any(|r| !r.bracket_ok) {
-        fail_run(
-            json,
-            format!("mmtpredict: {violations} soundness violation(s)"),
-        );
-    }
-    println!("mmtpredict: all checks passed");
+    let report = PredictReport {
+        scale: spec.scale,
+        rows,
+    };
+    finish_gate("mmtpredict", "predict", spec.json, &report, &report.rows);
 }
 
 /// Static-vs-dynamic comparison for one (app, threads) case.
@@ -266,6 +218,7 @@ fn validate_case(app: &App, threads: usize, scale: u64) -> PredictRow {
         bracket_ok,
         expected_split_degree: pred.expected_split_degree,
         savings_lower: pred.savings_lower,
+        savings_est: pred.savings_est,
         savings_upper: pred.savings_upper,
         merge_events: result.merge_log.len(),
         soundness_violations: violations,

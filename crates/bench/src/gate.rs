@@ -1,0 +1,166 @@
+//! Shared scaffolding for the differential gate bins (`mmtpredict`,
+//! `mmtmem`, `mmtvalue`).
+//!
+//! Each gate bin compares a static analysis against one dynamic
+//! simulation per (app, thread-count) case and fails loudly on any
+//! soundness violation. The shape is identical across tools — parse the
+//! unified CLI flags, build the case cross-product, run cases in
+//! parallel, print a markdown table, dump `SOUNDNESS` lines to stderr,
+//! write `results/BENCH_<name>.json`, and exit 1 iff anything was
+//! violated — so it lives here once:
+//!
+//! * [`GateSpec::from_args`] — the unified flag set
+//!   (`--apps/--app/--all-workloads`, `--threads`, `--scale`, `--jobs`,
+//!   `--format`);
+//! * [`GateSpec::cases`] — the (app × threads) cross-product;
+//! * [`GateRow`] + [`finish_gate`] — the failure table, report write,
+//!   and exit policy;
+//! * [`status_cell`] — the per-row `ok` / `FAIL (n)` table cell.
+//!
+//! | flag | default | meaning |
+//! |---|---|---|
+//! | `--all-workloads` | —     | shorthand for `--apps all` |
+//! | `--apps LIST`     | `all` | comma-separated suite app names, or `all` |
+//! | `--app NAME`      | `all` | alias for `--apps` |
+//! | `--threads LIST`  | `2,4` | comma-separated thread counts |
+//! | `--scale N`       | `16`  | iteration divisor for app instances |
+//! | `--jobs N`        | cores | parallel cases |
+//! | `--format F`      | `text`| `text`, or `json` failure objects |
+
+use crate::arg_value;
+use crate::cli::{fail_run, fail_usage, format_json_arg};
+use crate::sweep::{jobs_arg, write_report};
+use mmt_workloads::{all_apps, app_by_name, App};
+
+/// Parsed unified CLI for one gate-bin invocation.
+#[derive(Debug, Clone)]
+pub struct GateSpec {
+    /// Emit failures as JSON objects (`--format json`).
+    pub json: bool,
+    /// The selected suite apps.
+    pub apps: Vec<App>,
+    /// Thread counts to validate per app.
+    pub threads: Vec<usize>,
+    /// Iteration divisor for app instances.
+    pub scale: u64,
+    /// Parallel cases.
+    pub jobs: usize,
+}
+
+impl GateSpec {
+    /// Parse the unified gate flags, exiting with a usage error (status
+    /// 2) on anything malformed.
+    pub fn from_args(args: &[String]) -> GateSpec {
+        let json = format_json_arg(args).unwrap_or_else(|e| fail_usage(false, e));
+        let names = if args.iter().any(|a| a == "--all-workloads") {
+            "all".to_string()
+        } else {
+            arg_value(args, "--apps")
+                .or_else(|| arg_value(args, "--app"))
+                .unwrap_or_else(|| "all".into())
+        };
+        let apps: Vec<App> = if names == "all" {
+            all_apps()
+        } else {
+            names
+                .split(',')
+                .map(|name| {
+                    let name = name.trim();
+                    app_by_name(name).unwrap_or_else(|| {
+                        fail_usage(
+                            json,
+                            format!(
+                                "unknown app '{name}'; known: {}",
+                                all_apps()
+                                    .iter()
+                                    .map(|a| a.name)
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            ),
+                        )
+                    })
+                })
+                .collect()
+        };
+        let threads: Vec<usize> = arg_value(args, "--threads")
+            .unwrap_or_else(|| "2,4".into())
+            .split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    fail_usage(json, "--threads takes a comma-separated list like 2,4")
+                })
+            })
+            .collect();
+        let scale: u64 = arg_value(args, "--scale")
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| fail_usage(json, "--scale takes a number"))
+            })
+            .unwrap_or(16);
+        let jobs = jobs_arg(args);
+        GateSpec {
+            json,
+            apps,
+            threads,
+            scale,
+            jobs,
+        }
+    }
+
+    /// The (app × thread-count) cross-product, in app-major order.
+    pub fn cases(&self) -> Vec<(App, usize)> {
+        self.apps
+            .iter()
+            .flat_map(|a| self.threads.iter().map(move |&t| (a.clone(), t)))
+            .collect()
+    }
+}
+
+/// What [`finish_gate`] needs from one result row.
+pub trait GateRow {
+    /// The app the row validates.
+    fn app(&self) -> &str;
+    /// The thread count the row validates.
+    fn threads(&self) -> usize;
+    /// Soundness violations found (empty = clean).
+    fn violations(&self) -> &[String];
+}
+
+/// The per-row status cell of the markdown table: `ok`, or `FAIL (n)`.
+pub fn status_cell(violations: &[String]) -> String {
+    if violations.is_empty() {
+        "ok".to_string()
+    } else {
+        format!("FAIL ({})", violations.len())
+    }
+}
+
+/// The common gate epilogue: `SOUNDNESS` lines on stderr, the JSON
+/// report to `results/BENCH_<report_name>.json`, and the exit policy —
+/// status 1 with a `<tool>: N soundness violation(s)` failure when any
+/// row has violations, else a `<tool>: all checks passed` success line
+/// and status 0.
+pub fn finish_gate<R: GateRow, T: serde::Serialize>(
+    tool: &str,
+    report_name: &str,
+    json: bool,
+    report: &T,
+    rows: &[R],
+) -> ! {
+    let mut violations = 0usize;
+    for r in rows {
+        for v in r.violations() {
+            eprintln!("SOUNDNESS {} t={}: {v}", r.app(), r.threads());
+        }
+        violations += r.violations().len();
+    }
+    match write_report(report_name, report) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => fail_run(json, format!("cannot write report: {e}")),
+    }
+    if violations > 0 {
+        fail_run(json, format!("{tool}: {violations} soundness violation(s)"));
+    }
+    println!("{tool}: all checks passed");
+    std::process::exit(0);
+}

@@ -21,11 +21,13 @@
 //! | `mmtlint` | static linter + merge classification over suite apps (`--format json`) |
 //! | `mmtpredict` | static savings predictor vs. per-PC dynamic profile (differential gate) |
 //! | `mmtmem` | static memory divergence/race analysis + LVIP brackets vs. dynamic addresses (differential gate) |
+//! | `mmtvalue` | thread-parametric value-flow analysis + static RST model vs. per-PC exec-merge profile (differential gate) |
 //! | `diag_app` | one-line per-level diagnostic for model/workload tuning |
 
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod gate;
 pub mod retry;
 pub mod sample;
 pub mod sweep;

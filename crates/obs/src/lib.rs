@@ -11,7 +11,7 @@
 //!   series (per-thread IPC, fetch-mode fractions, occupancies);
 //! * exporters: [Chrome trace-event JSON](chrome) loadable in Perfetto,
 //!   compact [JSONL](jsonl), and a text [timeline summary](timeline);
-//! * an offline [replay](replay) that folds an event stream back into
+//! * an offline [replay](mod@replay) that folds an event stream back into
 //!   aggregate counters for differential checking against `SimStats`.
 //!
 //! The crate deliberately depends only on `mmt-isa` (for the thread-count

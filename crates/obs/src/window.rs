@@ -1,5 +1,5 @@
 //! Windowed metrics: per-N-cycle time series derived from the running
-//! [`CounterSet`](crate::replay::CounterSet) plus instantaneous
+//! [`CounterSet`] plus instantaneous
 //! structure occupancies sampled at each window boundary.
 
 use crate::replay::CounterSet;
