@@ -21,27 +21,33 @@
 //! mmtfault --scale 16 --faults-per-config 7 --seed 999
 //! ```
 //!
+//! Flags are the unified gate set ([`mmt_bench::gate`]):
+//! `--all-workloads`, `--apps LIST` (alias `--app`), `--threads LIST`,
+//! `--scale N`, `--jobs N`, `--format text|json`, `--progress PATH` —
+//! plus this tool's own campaign knobs:
+//!
 //! | flag | default | meaning |
 //! |---|---|---|
-//! | `--scale N`             | `16`      | iteration divisor for app instances |
 //! | `--faults-per-config N` | `7`       | live injections per app × thread-count |
 //! | `--ckpt-faults N`       | `2`       | checkpoint-byte flips per app × thread-count |
 //! | `--seed N`              | `0xF4017` | campaign seed (deterministic outcomes) |
-//! | `--jobs N`              | cores     | configurations analyzed in parallel |
 //! | `--trace-dir DIR`       | —         | dump mmt-obs trace files for non-masked injections (`FaultInjected`/`Watchdog` events mark where the upset landed and when it was caught) |
 //!
-//! Output: a markdown summary table plus `results/BENCH_fault.json`.
-//! Exit status: 0 when every injection is detected or provably masked,
-//! 1 on any silent corruption, 2 on usage errors.
+//! Output: a markdown summary table, `results/BENCH_fault.json`, and an
+//! appended `results/LEDGER.jsonl` record. Exit status: 0 when every
+//! injection is detected or provably masked, 1 on any silent
+//! corruption, 2 on usage errors.
 
 use mmt_analysis::Oracle;
-use mmt_bench::cli::{fail_run, fail_usage, format_json_arg};
-use mmt_bench::sweep::{jobs_arg, run_parallel, trace_dir_arg, write_report, write_trace_files};
+use mmt_bench::cli::{fail_run, fail_usage};
+use mmt_bench::gate::{finish_gate, GateRow, GateSpec};
+use mmt_bench::sweep::{trace_dir_arg, write_trace_files};
 use mmt_bench::{arg_value, to_run_spec};
 use mmt_sim::{flip_byte, CampaignRng, FaultTarget, MmtLevel, SimConfig, Simulator};
-use mmt_workloads::{all_apps, App};
+use mmt_workloads::App;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// How often (in cycles) injected runs re-run the invariant audit.
 const VALIDATE_EVERY: u64 = 4096;
@@ -74,6 +80,30 @@ struct FaultReport {
     masked: usize,
     silent: usize,
     records: Vec<FaultRecord>,
+}
+
+/// One configuration's ledger/exit-policy view: silent corruptions are
+/// the violations, the golden run's length is the cycle cost.
+struct FaultCase {
+    app: String,
+    threads: usize,
+    sim_cycles: u64,
+    violations: Vec<String>,
+}
+
+impl GateRow for FaultCase {
+    fn app(&self) -> &str {
+        &self.app
+    }
+    fn threads(&self) -> usize {
+        self.threads
+    }
+    fn violations(&self) -> &[String] {
+        &self.violations
+    }
+    fn sim_cycles(&self) -> u64 {
+        self.sim_cycles
+    }
 }
 
 /// Clean-run reference for one configuration.
@@ -251,7 +281,8 @@ fn checkpoint_fault(golden: &Golden, offset: usize, bit: u8) -> Outcome {
     }
 }
 
-/// The whole campaign for one (app, threads) configuration.
+/// The whole campaign for one (app, threads) configuration. Returns
+/// the records plus the golden run's cycle count (for the ledger).
 fn run_config(
     app: &App,
     threads: usize,
@@ -260,7 +291,7 @@ fn run_config(
     faults: usize,
     ckpt_faults: usize,
     trace_dir: Option<&std::path::Path>,
-) -> Vec<FaultRecord> {
+) -> (Vec<FaultRecord>, u64) {
     let golden = golden_run(app, threads, scale);
     let lvip_entries = SimConfig::paper_with(threads, MmtLevel::Fxr).lvip_entries;
     // One deterministic stream per configuration: reordering configs or
@@ -319,56 +350,46 @@ fn run_config(
             message: outcome.message().to_string(),
         });
     }
-    records
+    (records, golden.cycles)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let json = format_json_arg(&args).unwrap_or_else(|e| fail_usage(false, e));
-    let scale: u64 = arg_value(&args, "--scale")
-        .map(|v| {
-            v.parse()
-                .unwrap_or_else(|_| fail_usage(json, "--scale takes a number"))
-        })
-        .unwrap_or(16);
+    let spec = GateSpec::from_args(&args);
+    let started = Instant::now();
+    let scale = spec.scale;
     let faults: usize = arg_value(&args, "--faults-per-config")
         .map(|v| {
             v.parse()
-                .unwrap_or_else(|_| fail_usage(json, "--faults-per-config takes a number"))
+                .unwrap_or_else(|_| fail_usage(spec.json, "--faults-per-config takes a number"))
         })
         .unwrap_or(7);
     let ckpt_faults: usize = arg_value(&args, "--ckpt-faults")
         .map(|v| {
             v.parse()
-                .unwrap_or_else(|_| fail_usage(json, "--ckpt-faults takes a number"))
+                .unwrap_or_else(|_| fail_usage(spec.json, "--ckpt-faults takes a number"))
         })
         .unwrap_or(2);
     let seed: u64 = arg_value(&args, "--seed")
         .map(|v| {
             v.parse()
-                .unwrap_or_else(|_| fail_usage(json, "--seed takes a number"))
+                .unwrap_or_else(|_| fail_usage(spec.json, "--seed takes a number"))
         })
         .unwrap_or(0xF4017);
-    let jobs = jobs_arg(&args);
     let trace_dir: Option<PathBuf> = trace_dir_arg(&args);
 
-    let apps = all_apps();
-    let configs: Vec<(App, usize)> = apps
-        .iter()
-        .flat_map(|a| [2usize, 4].map(|t| (a.clone(), t)))
-        .collect();
     println!(
         "## mmtfault — seeded injection campaign (seed {seed:#x}, scale {scale}, \
          {} live + {} checkpoint faults per config, {} configs)\n",
         faults,
         ckpt_faults,
-        configs.len()
+        spec.cases().len()
     );
 
-    let per_config = run_parallel(&configs, jobs, |(app, threads)| {
+    let per_config = spec.run_cases(|app, threads| {
         run_config(
             app,
-            *threads,
+            threads,
             scale,
             seed,
             faults,
@@ -376,7 +397,28 @@ fn main() {
             trace_dir.as_deref(),
         )
     });
-    let records: Vec<FaultRecord> = per_config.into_iter().flatten().collect();
+    let cases: Vec<FaultCase> = per_config
+        .iter()
+        .map(|(records, cycles)| FaultCase {
+            app: records
+                .first()
+                .map(|r| r.app.clone())
+                .unwrap_or_else(|| "none".into()),
+            threads: records.first().map(|r| r.threads).unwrap_or(0),
+            sim_cycles: *cycles,
+            violations: records
+                .iter()
+                .filter(|r| r.outcome == "silent")
+                .map(|r| {
+                    format!(
+                        "silent corruption: {} ({}): {}",
+                        r.target, r.unit, r.message
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+    let records: Vec<FaultRecord> = per_config.into_iter().flat_map(|(r, _)| r).collect();
 
     let count = |name: &str| records.iter().filter(|r| r.outcome == name).count();
     let report = FaultReport {
@@ -416,22 +458,5 @@ fn main() {
         report.masked,
         report.silent
     );
-    for r in report.records.iter().filter(|r| r.outcome == "silent") {
-        eprintln!(
-            "SILENT {} t={} {} ({}): {}",
-            r.app, r.threads, r.target, r.unit, r.message
-        );
-    }
-
-    match write_report("fault", &report) {
-        Ok(path) => println!("\nwrote {}", path.display()),
-        Err(e) => fail_run(json, format!("cannot write report: {e}")),
-    }
-    if report.silent > 0 {
-        fail_run(
-            json,
-            format!("mmtfault: {} silent corruption(s)", report.silent),
-        );
-    }
-    println!("mmtfault: zero silent corruptions");
+    finish_gate("mmtfault", "fault", &spec, started, &report, &cases);
 }

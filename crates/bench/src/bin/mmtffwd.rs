@@ -13,21 +13,29 @@
 //!    cycle counts, merged-fetch fractions, and Base→MMT-FXR speedups
 //!    within the documented bounds on every app at 2 threads.
 //!
-//! Writes `results/BENCH_ffwd.json` and prints a markdown summary table
-//! (piped into `$GITHUB_STEP_SUMMARY` by the `ffwd` CI job). Exits
-//! nonzero if any gate fails.
+//! Writes `results/BENCH_ffwd.json`, appends a `results/LEDGER.jsonl`
+//! record, and prints a markdown summary table (piped into
+//! `$GITHUB_STEP_SUMMARY` by the `ffwd` CI job). Exits nonzero if any
+//! gate fails.
+//!
+//! Flags are the unified gate set ([`mmt_bench::gate`]):
+//! `--all-workloads`, `--apps LIST` (alias `--app`), `--threads LIST`,
+//! `--scale N` (default 1 here — the gate validates paper-sized runs),
+//! `--jobs N`, `--format text|json`, `--progress PATH` — plus this
+//! tool's own `--reps N` (throughput repetitions, default 3).
 //!
 //! ```text
 //! cargo run --release -p mmt-bench --bin mmtffwd            # full gate
 //! cargo run --release -p mmt-bench --bin mmtffwd -- --scale 16 --jobs 4
 //! ```
 
-use mmt_bench::cli::{fail_run, fail_usage, format_json_arg};
+use mmt_bench::cli::{fail_run, fail_usage};
+use mmt_bench::gate::{finish_gate, GateRow, GateSpec};
 use mmt_bench::sample::{run_sampled, SampleConfig};
-use mmt_bench::sweep::{jobs_arg, run_parallel, write_report};
+use mmt_bench::sweep::run_parallel;
 use mmt_bench::{arg_value, to_run_spec, FULL_SCALE};
 use mmt_sim::{Ffwd, MmtLevel, RunSpec, SimConfig, SimStats, Simulator};
-use mmt_workloads::{all_apps, perfsmoke_app, App};
+use mmt_workloads::perfsmoke_app;
 use std::time::Instant;
 
 /// Minimum wall-clock speed ratio of fast-forward over the detailed
@@ -84,6 +92,30 @@ struct ThroughputRep {
     ffwd_minsts_per_sec: f64,
 }
 
+/// One ledger/exit-policy row: a digest case, a sampling case, or the
+/// throughput pseudo-case, with gate failures expressed as violations.
+struct FfwdCase {
+    app: String,
+    threads: usize,
+    sim_cycles: u64,
+    violations: Vec<String>,
+}
+
+impl GateRow for FfwdCase {
+    fn app(&self) -> &str {
+        &self.app
+    }
+    fn threads(&self) -> usize {
+        self.threads
+    }
+    fn violations(&self) -> &[String] {
+        &self.violations
+    }
+    fn sim_cycles(&self) -> u64 {
+        self.sim_cycles
+    }
+}
+
 #[derive(serde::Serialize)]
 struct FfwdReport {
     figure: String,
@@ -137,39 +169,38 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     // Only failures are emitted as JSON objects; the success output
     // stays the markdown table CI renders.
-    let json = format_json_arg(&args).unwrap_or_else(|e| fail_usage(false, e));
-    let scale: u64 = arg_value(&args, "--scale")
-        .map(|v| {
-            v.parse()
-                .unwrap_or_else(|_| fail_usage(json, "--scale takes a number"))
-        })
-        .unwrap_or(FULL_SCALE);
+    let mut spec = GateSpec::from_args(&args);
+    // This gate validates paper-sized runs by default, not the smoke
+    // scale the differential gates use.
+    if arg_value(&args, "--scale").is_none() {
+        spec.scale = FULL_SCALE;
+    }
+    if spec.threads.is_empty() {
+        fail_usage(spec.json, "--threads needs at least one thread count");
+    }
+    let started = Instant::now();
+    let scale = spec.scale;
     let reps: usize = arg_value(&args, "--reps")
         .map(|v| {
             v.parse()
-                .unwrap_or_else(|_| fail_usage(json, "--reps takes a number"))
+                .unwrap_or_else(|_| fail_usage(spec.json, "--reps takes a number"))
         })
         .unwrap_or(3);
-    let jobs = jobs_arg(&args);
-    let apps = all_apps();
+    let apps = spec.apps.clone();
     let sample = SampleConfig::default();
 
-    // Gate 1 + goldens: every (app, threads) pair runs the detailed
+    // Gate 1 + goldens: every (app, threads) case runs the detailed
     // model once (stepped, for the digest) and the fast-forward executor
-    // once. The 2-thread FXR stats double as gate 3's goldens.
-    let grid: Vec<(&App, usize)> = apps
-        .iter()
-        .flat_map(|a| [(a, 2usize), (a, 4usize)])
-        .collect();
-    let digest_runs = run_parallel(&grid, jobs, |(app, threads)| {
-        let cfg = SimConfig::paper_with(*threads, MmtLevel::Fxr);
-        let spec = to_run_spec(app.instance(*threads, scale));
+    // once. The first-thread-count FXR stats double as gate 3's goldens.
+    let digest_runs = spec.run_cases(|app, threads| {
+        let cfg = SimConfig::paper_with(threads, MmtLevel::Fxr);
+        let spec = to_run_spec(app.instance(threads, scale));
         let (stats, golden_digest) = detailed_golden(cfg, spec.clone());
         let (fast_digest, insts, minsts) = ffwd_digest(&spec);
         (
             DigestRow {
                 app: app.name,
-                threads: *threads,
+                threads,
                 insts,
                 matched: fast_digest == golden_digest,
                 ffwd_minsts_per_sec: minsts,
@@ -180,24 +211,31 @@ fn main() {
     let (digest, goldens): (Vec<DigestRow>, Vec<SimStats>) = digest_runs.into_iter().unzip();
     let digest_pass = digest.iter().all(|r| r.matched);
 
-    // Gate 3: sampled estimates vs. the full-detail goldens at 2
-    // threads (the even grid slots), including the paper's headline
-    // Base→FXR speedup.
-    let fxr_goldens: Vec<&SimStats> = goldens.iter().step_by(2).collect();
-    let sampling = run_parallel(&apps, jobs, |app| {
+    // Gate 3: sampled estimates vs. the full-detail goldens at the
+    // first selected thread count (default 2), including the paper's
+    // headline Base→FXR speedup. The goldens sit at stride
+    // `spec.threads.len()` in case (app-major) order.
+    let sample_threads = spec.threads[0];
+    let fxr_goldens: Vec<&SimStats> = goldens.iter().step_by(spec.threads.len()).collect();
+    let sampling = run_parallel(&apps, spec.jobs, |app| {
+        let progress_label = format!("sample:{}", app.name);
+        if let Some(p) = &spec.progress {
+            p.start(&progress_label, 1);
+        }
+        let case_started = Instant::now();
         let idx = apps.iter().position(|a| a.name == app.name).unwrap();
         let golden_fxr = fxr_goldens[idx];
-        let spec = to_run_spec(app.instance(2, scale));
-        let base_cfg = SimConfig::paper_with(2, MmtLevel::Base);
-        let golden_base = Simulator::new(base_cfg.clone(), spec.clone())
+        let spec_run = to_run_spec(app.instance(sample_threads, scale));
+        let base_cfg = SimConfig::paper_with(sample_threads, MmtLevel::Base);
+        let golden_base = Simulator::new(base_cfg.clone(), spec_run.clone())
             .unwrap_or_else(|e| fail_run(false, format!("{}: invalid config/spec: {e}", app.name)))
             .run()
             .unwrap_or_else(|e| fail_run(false, format!("{}: {e}", app.name)))
             .stats;
 
-        let fxr_cfg = SimConfig::paper_with(2, MmtLevel::Fxr);
-        let est_fxr = run_sampled(&fxr_cfg, &spec, &sample);
-        let est_base = run_sampled(&base_cfg, &spec, &sample);
+        let fxr_cfg = SimConfig::paper_with(sample_threads, MmtLevel::Fxr);
+        let est_fxr = run_sampled(&fxr_cfg, &spec_run, &sample);
+        let est_base = run_sampled(&base_cfg, &spec_run, &sample);
 
         let golden_merge = merge_fraction(golden_fxr);
         let golden_speedup = golden_base.cycles as f64 / golden_fxr.cycles.max(1) as f64;
@@ -205,7 +243,7 @@ fn main() {
         let cycles_rel_err = est_fxr.cycles_rel_err(golden_fxr.cycles);
         let merge_abs_err = (est_fxr.merge_fraction - golden_merge).abs();
         let speedup_rel_err = (est_speedup - golden_speedup).abs() / golden_speedup;
-        SampleRow {
+        let row = SampleRow {
             app: app.name,
             golden_cycles: golden_fxr.cycles,
             est_cycles: est_fxr.est_cycles,
@@ -221,8 +259,13 @@ fn main() {
             pass: cycles_rel_err <= CYCLES_REL_ERR_BOUND
                 && merge_abs_err <= MERGE_ABS_ERR_BOUND
                 && speedup_rel_err <= SPEEDUP_REL_ERR_BOUND,
+        };
+        if let Some(p) = &spec.progress {
+            p.finish(&progress_label, 1, case_started.elapsed());
         }
+        (row, golden_base.cycles)
     });
+    let (sampling, sample_base_cycles): (Vec<SampleRow>, Vec<u64>) = sampling.into_iter().unzip();
     let sampling_pass = sampling.iter().all(|r| r.pass);
 
     // Gate 2: wall-clock speed ratio on the perfsmoke workload, both
@@ -279,7 +322,7 @@ fn main() {
     let report = FfwdReport {
         figure: "ffwd".into(),
         scale,
-        jobs,
+        jobs: spec.jobs,
         speed_ratio,
         speed_ratio_floor: SPEED_RATIO_FLOOR,
         ffwd_minsts_per_sec: ffwd_minsts,
@@ -352,12 +395,72 @@ fn main() {
         );
     }
 
-    let path = write_report("ffwd", &report)
-        .unwrap_or_else(|e| fail_run(json, format!("cannot write report: {e}")));
-    println!("\nwrote {}", path.display());
-    if !pass {
-        fail_run(json, "mmtffwd: gate FAILED");
+    // Express the three gates as violation-bearing cases so the shared
+    // epilogue (SOUNDNESS lines, report write, ledger append, exit
+    // policy) applies unchanged.
+    let mut cases: Vec<FfwdCase> = report
+        .digest
+        .iter()
+        .zip(&goldens)
+        .map(|(r, stats)| FfwdCase {
+            app: r.app.to_string(),
+            threads: r.threads,
+            sim_cycles: stats.cycles,
+            violations: if r.matched {
+                Vec::new()
+            } else {
+                vec![format!(
+                    "fast-forward digest mismatch after {} insts",
+                    r.insts
+                )]
+            },
+        })
+        .collect();
+    for (r, &base_cycles) in report.sampling.iter().zip(&sample_base_cycles) {
+        let mut violations = Vec::new();
+        if r.cycles_rel_err > CYCLES_REL_ERR_BOUND {
+            violations.push(format!(
+                "sampled cycle estimate off by {:.1}% (bound {:.0}%)",
+                r.cycles_rel_err * 100.0,
+                CYCLES_REL_ERR_BOUND * 100.0
+            ));
+        }
+        if r.merge_abs_err > MERGE_ABS_ERR_BOUND {
+            violations.push(format!(
+                "sampled merge fraction off by {:.3} (bound {MERGE_ABS_ERR_BOUND})",
+                r.merge_abs_err
+            ));
+        }
+        if r.speedup_rel_err > SPEEDUP_REL_ERR_BOUND {
+            violations.push(format!(
+                "sampled speedup off by {:.1}% (bound {:.0}%)",
+                r.speedup_rel_err * 100.0,
+                SPEEDUP_REL_ERR_BOUND * 100.0
+            ));
+        }
+        cases.push(FfwdCase {
+            app: r.app.to_string(),
+            threads: sample_threads,
+            sim_cycles: base_cycles,
+            violations,
+        });
     }
+    // Throughput is a whole-suite property, not a per-case one: one
+    // pseudo-case carries it (threads 0 = not app×thread shaped).
+    cases.push(FfwdCase {
+        app: "perfsmoke-throughput".to_string(),
+        threads: 0,
+        sim_cycles: 0,
+        violations: if throughput_pass {
+            Vec::new()
+        } else {
+            vec![format!(
+                "fast-forward only {speed_ratio:.1}x faster than detailed \
+                 (floor {SPEED_RATIO_FLOOR:.0}x)"
+            )]
+        },
+    });
+    finish_gate("mmtffwd", "ffwd", &spec, started, &report, &cases);
 }
 
 fn status(ok: bool) -> &'static str {

@@ -46,7 +46,6 @@
 use mmt_analysis::{predict_lvip, AccessClass, MemDepAnalysis};
 use mmt_bench::cli::fail_run;
 use mmt_bench::gate::{finish_gate, status_cell, GateRow, GateSpec};
-use mmt_bench::sweep::run_parallel;
 use mmt_bench::to_run_spec;
 use mmt_isa::interp::{Machine, Memory};
 use mmt_isa::{Inst, MemSharing, Program};
@@ -78,6 +77,7 @@ struct MemRow {
     lvip_misses: u64,
     dynamic_conflict_pairs: usize,
     functional_steps: u64,
+    sim_cycles: u64,
     soundness_violations: Vec<String>,
 }
 
@@ -90,6 +90,9 @@ impl GateRow for MemRow {
     }
     fn violations(&self) -> &[String] {
         &self.soundness_violations
+    }
+    fn sim_cycles(&self) -> u64 {
+        self.sim_cycles
     }
 }
 
@@ -104,9 +107,8 @@ fn main() {
     // Only failures are emitted as JSON objects; the success output
     // stays the markdown table CI renders.
     let spec = GateSpec::from_args(&args);
-    let rows = run_parallel(&spec.cases(), spec.jobs, |(app, threads)| {
-        validate_case(app, *threads, spec.scale)
-    });
+    let started = std::time::Instant::now();
+    let rows = spec.run_cases(|app, threads| validate_case(app, threads, spec.scale));
 
     println!(
         "## mmtmem — static memory classification vs. dynamic addresses (scale {})\n",
@@ -144,7 +146,7 @@ fn main() {
         scale: spec.scale,
         rows,
     };
-    finish_gate("mmtmem", "memdep", spec.json, &report, &report.rows);
+    finish_gate("mmtmem", "memdep", &spec, started, &report, &report.rows);
 }
 
 /// What the functional interleaving observed at one (pc, thread).
@@ -390,6 +392,7 @@ fn validate_case(app: &App, threads: usize, scale: u64) -> MemRow {
         lvip_misses,
         dynamic_conflict_pairs: dynamic_pairs.len(),
         functional_steps,
+        sim_cycles: result.stats.cycles,
         soundness_violations: violations,
     }
 }

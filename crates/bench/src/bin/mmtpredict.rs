@@ -33,7 +33,6 @@
 use mmt_analysis::{predict, MergeClass, Oracle, Prediction};
 use mmt_bench::cli::fail_run;
 use mmt_bench::gate::{finish_gate, status_cell, GateRow, GateSpec};
-use mmt_bench::sweep::run_parallel;
 use mmt_bench::to_run_spec;
 use mmt_sim::{MmtLevel, SimConfig, Simulator};
 use mmt_workloads::App;
@@ -59,6 +58,7 @@ struct PredictRow {
     savings_est: f64,
     savings_upper: f64,
     merge_events: usize,
+    sim_cycles: u64,
     soundness_violations: Vec<String>,
     coverage_gap_split_pcs: usize,
     coverage_gap_unmerged_pcs: usize,
@@ -74,6 +74,9 @@ impl GateRow for PredictRow {
     fn violations(&self) -> &[String] {
         &self.soundness_violations
     }
+    fn sim_cycles(&self) -> u64 {
+        self.sim_cycles
+    }
 }
 
 #[derive(Debug, Clone, serde::Serialize)]
@@ -87,9 +90,8 @@ fn main() {
     // Only failures are emitted as JSON objects; the success output
     // stays the markdown table CI renders.
     let spec = GateSpec::from_args(&args);
-    let rows = run_parallel(&spec.cases(), spec.jobs, |(app, threads)| {
-        validate_case(app, *threads, spec.scale)
-    });
+    let started = std::time::Instant::now();
+    let rows = spec.run_cases(|app, threads| validate_case(app, threads, spec.scale));
 
     println!(
         "## mmtpredict — static prediction vs. dynamic profile (scale {})\n",
@@ -134,7 +136,14 @@ fn main() {
         scale: spec.scale,
         rows,
     };
-    finish_gate("mmtpredict", "predict", spec.json, &report, &report.rows);
+    finish_gate(
+        "mmtpredict",
+        "predict",
+        &spec,
+        started,
+        &report,
+        &report.rows,
+    );
 }
 
 /// Static-vs-dynamic comparison for one (app, threads) case.
@@ -221,6 +230,7 @@ fn validate_case(app: &App, threads: usize, scale: u64) -> PredictRow {
         savings_est: pred.savings_est,
         savings_upper: pred.savings_upper,
         merge_events: result.merge_log.len(),
+        sim_cycles: result.stats.cycles,
         soundness_violations: violations,
         coverage_gap_split_pcs: gap_split,
         coverage_gap_unmerged_pcs: gap_unmerged,

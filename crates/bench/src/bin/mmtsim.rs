@@ -27,6 +27,7 @@
 //! | `--pc-profile`    | off         | record the per-PC profile (fetch/exec/LVIP/address counters); with `--format json` it rides along in `stats.pc_profile` — the same wire format `mmtmem` consumes |
 //! | `--asm PATH`      | —           | simulate an assembly file instead of a suite app |
 //! | `--sharing S`     | `mt`        | with `--asm`: `mt` (shared memory) or `me` (per process) |
+//! | `--metrics PATH`  | off         | self-profile the simulator (per-stage wall-clock histograms; with `--sample`, per-tier too) and write the merged snapshot to PATH — `.json` for JSON, anything else for Prometheus text exposition |
 //!
 //! Two-speed simulation (see DESIGN.md §14):
 //!
@@ -41,9 +42,11 @@
 //! | `--sample-measure N`  | `1500` | measured instructions per window |
 
 use mmt_bench::cli::{fail_run, fail_usage, format_json_arg};
-use mmt_bench::sample::{run_sampled, SampleConfig};
+use mmt_bench::sample::{run_sampled, run_sampled_profiled, SampleConfig};
 use mmt_bench::{arg_value, to_run_spec, FULL_SCALE};
 use mmt_energy::EnergyModel;
+use mmt_obs::json::ObjectWriter;
+use mmt_obs::MetricsSnapshot;
 use mmt_sim::config::SyncPolicy;
 use mmt_sim::snapshot::{self, ArchState};
 use mmt_sim::{FetchStyle, MmtLevel, SimConfig, SimResult, Simulator};
@@ -90,21 +93,35 @@ fn main() {
         })]
     };
 
+    let metrics_path = arg_value(&args, "--metrics");
+    let mut metrics: Option<MetricsSnapshot> = None;
+    let mut absorb = |snap: Option<MetricsSnapshot>| {
+        let Some(snap) = snap else { return };
+        match &mut metrics {
+            Some(acc) => acc.merge(&snap),
+            None => metrics = Some(snap),
+        }
+    };
+
     if args.iter().any(|a| a == "--sample") {
         let sample = sample_config(&args, json);
         for app in &apps {
             let (cfg, w, level_label) = configure(app, &level_name, threads, scale, &args, json);
-            let est = run_sampled(&cfg, &to_run_spec(w), &sample);
+            let est = if metrics_path.is_some() {
+                let (est, snap) = run_sampled_profiled(&cfg, &to_run_spec(w), &sample);
+                absorb(Some(snap));
+                est
+            } else {
+                run_sampled(&cfg, &to_run_spec(w), &sample)
+            };
             if json {
-                println!(
-                    "{{\"app\":{:?},\"level\":{:?},\"threads\":{threads},\"sampled\":{}}}",
-                    app.name,
-                    level_label,
-                    serde_json::to_string(&est).expect("estimate serializes"),
-                );
+                print_json_line(app.name, &level_label, threads, "sampled", &est);
             } else {
                 print_sampled(app, &level_label, &est);
             }
+        }
+        if let Some(path) = &metrics_path {
+            write_metrics(path, metrics, json);
         }
         return;
     }
@@ -112,16 +129,55 @@ fn main() {
     for app in &apps {
         let (result, level_label) = run_one(app, &level_name, threads, scale, &args, json);
         if json {
-            println!(
-                "{{\"app\":{:?},\"level\":{:?},\"threads\":{threads},\"stats\":{}}}",
-                app.name,
-                level_label,
-                serde_json::to_string(&result.stats).expect("stats serialize"),
-            );
+            print_json_line(app.name, &level_label, threads, "stats", &result.stats);
         } else {
             print_human(app, &level_label, &result);
         }
+        absorb(result.metrics);
     }
+    if let Some(path) = &metrics_path {
+        write_metrics(path, metrics, json);
+    }
+}
+
+/// One machine-readable result line, via the escaping-correct writer
+/// (Debug-formatted strings are *not* JSON: `é` renders as `\u{e9}`).
+fn print_json_line(
+    app: &str,
+    level: &str,
+    threads: usize,
+    key: &str,
+    payload: &impl serde::Serialize,
+) {
+    let mut line = String::new();
+    let mut w = ObjectWriter::new(&mut line);
+    w.str("app", app)
+        .str("level", level)
+        .u64("threads", threads as u64)
+        .raw(
+            key,
+            &serde_json::to_string(payload).expect("payload serializes"),
+        );
+    w.finish();
+    println!("{line}");
+}
+
+/// Write the merged self-profiling snapshot: `.json` → JSON array,
+/// anything else → Prometheus text exposition.
+fn write_metrics(path: &str, snap: Option<MetricsSnapshot>, json: bool) {
+    let Some(snap) = snap else {
+        eprintln!("warning: --metrics requested but no run produced a snapshot");
+        return;
+    };
+    let body = if path.ends_with(".json") {
+        snap.to_json()
+    } else {
+        snap.to_prometheus()
+    };
+    if let Err(e) = std::fs::write(path, body) {
+        fail_run(json, format!("cannot write metrics {path}: {e}"));
+    }
+    println!("metrics written to {path}");
 }
 
 fn sample_config(args: &[String], json: bool) -> SampleConfig {
@@ -244,6 +300,9 @@ fn configure(
     }
     if args.iter().any(|a| a == "--pc-profile") {
         cfg.record_pc_profile = true;
+    }
+    if args.iter().any(|a| a == "--metrics") {
+        cfg.metrics = true;
     }
     let w = if limit {
         app.limit_instance(threads, scale)

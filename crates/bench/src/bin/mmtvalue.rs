@@ -52,7 +52,6 @@
 use mmt_analysis::{predict_lvip_with, ValueClass, ValueFlowAnalysis, ValueFlowOptions};
 use mmt_bench::cli::fail_run;
 use mmt_bench::gate::{finish_gate, status_cell, GateRow, GateSpec};
-use mmt_bench::sweep::run_parallel;
 use mmt_bench::to_run_spec;
 use mmt_isa::MemSharing;
 use mmt_sim::{MmtLevel, SimConfig, Simulator};
@@ -82,6 +81,7 @@ struct ValueRow {
     exec_merged: u64,
     exec_split: u64,
     lvip_misses: u64,
+    sim_cycles: u64,
     soundness_violations: Vec<String>,
 }
 
@@ -94,6 +94,9 @@ impl GateRow for ValueRow {
     }
     fn violations(&self) -> &[String] {
         &self.soundness_violations
+    }
+    fn sim_cycles(&self) -> u64 {
+        self.sim_cycles
     }
 }
 
@@ -108,9 +111,8 @@ fn main() {
     // Only failures are emitted as JSON objects; the success output
     // stays the markdown table CI renders.
     let spec = GateSpec::from_args(&args);
-    let rows = run_parallel(&spec.cases(), spec.jobs, |(app, threads)| {
-        validate_case(app, *threads, spec.scale)
-    });
+    let started = std::time::Instant::now();
+    let rows = spec.run_cases(|app, threads| validate_case(app, threads, spec.scale));
 
     println!(
         "## mmtvalue — static value flow / RST model vs. per-PC profile (scale {})\n",
@@ -147,7 +149,7 @@ fn main() {
         scale: spec.scale,
         rows,
     };
-    finish_gate("mmtvalue", "value", spec.json, &report, &report.rows);
+    finish_gate("mmtvalue", "value", &spec, started, &report, &report.rows);
 }
 
 /// Static-vs-dynamic value-flow comparison for one (app, threads) case.
@@ -300,6 +302,7 @@ fn validate_case(app: &App, threads: usize, scale: u64) -> ValueRow {
         exec_merged: merged_total,
         exec_split: split_total,
         lvip_misses: misses_total,
+        sim_cycles: result.stats.cycles,
         soundness_violations: violations,
     }
 }

@@ -6,7 +6,9 @@
 //! MMT-FXR) and prints a single sim-cycles/sec throughput number — the
 //! *best* rep pair, which rejects transient machine-load noise — then
 //! writes `results/BENCH_perfsmoke.json` with the per-run telemetry and
-//! the pre-overhaul baseline for PR-over-PR comparison.
+//! the pre-overhaul baseline for PR-over-PR comparison, and appends the
+//! gated throughput to `results/LEDGER.jsonl` so `mmtreport` can trend
+//! it run-over-run.
 //!
 //! ```text
 //! cargo run --release -p mmt-bench --bin perfsmoke -- --reps 3
@@ -32,6 +34,7 @@
 //!   over the detailed model (best of reps; the enforced >= 10x floor
 //!   lives in the `mmtffwd` gate).
 
+use mmt_bench::ledger::LedgerRecord;
 use mmt_bench::retry::RetryPolicy;
 use mmt_bench::sweep::{write_report, RunTelemetry};
 use mmt_bench::{arg_value, to_run_spec};
@@ -93,6 +96,7 @@ fn committed_cps(path: &str) -> Option<f64> {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let started = Instant::now();
     let reps: usize = arg_value(&args, "--reps")
         .map(|v| v.parse().expect("--reps takes a number"))
         .unwrap_or(3);
@@ -238,20 +242,41 @@ fn main() {
     let path = write_report("perfsmoke", &report).expect("write results/BENCH_perfsmoke.json");
     println!("wrote {}", path.display());
 
+    let mut gate_violations = 0usize;
     if check_baseline {
-        let Some(committed) = committed else {
-            eprintln!("--check-baseline: no committed results/BENCH_perfsmoke.json to compare");
-            std::process::exit(1);
-        };
-        let floor = committed * (1.0 - REGRESSION_TOLERANCE);
-        println!("baseline check: {cps:.0} vs committed {committed:.0} (floor {floor:.0})");
-        if cps < floor {
-            eprintln!(
-                "perfsmoke regression: {cps:.0} sim-cycles/sec is more than {:.0}% below \
-                 the committed {committed:.0}",
-                REGRESSION_TOLERANCE * 100.0
-            );
-            std::process::exit(1);
+        match committed {
+            None => {
+                eprintln!("--check-baseline: no committed results/BENCH_perfsmoke.json to compare");
+                gate_violations += 1;
+            }
+            Some(committed) => {
+                let floor = committed * (1.0 - REGRESSION_TOLERANCE);
+                println!("baseline check: {cps:.0} vs committed {committed:.0} (floor {floor:.0})");
+                if cps < floor {
+                    eprintln!(
+                        "perfsmoke regression: {cps:.0} sim-cycles/sec is more than {:.0}% below \
+                         the committed {committed:.0}",
+                        REGRESSION_TOLERANCE * 100.0
+                    );
+                    gate_violations += 1;
+                }
+            }
         }
+    }
+    // Fixed grid: the one perfsmoke workload at 2 and 4 threads. The
+    // recorded throughput is the best rep pair — the same number the
+    // baseline check gates on — so `mmtreport` trends the gated figure.
+    LedgerRecord::new(
+        "perfsmoke",
+        1,
+        &[2, 4],
+        1,
+        started.elapsed().as_secs_f64() * 1e3,
+        cps,
+        gate_violations,
+    )
+    .append_or_warn();
+    if gate_violations > 0 {
+        std::process::exit(1);
     }
 }

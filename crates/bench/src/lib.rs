@@ -28,6 +28,8 @@
 
 pub mod cli;
 pub mod gate;
+pub mod ledger;
+pub mod report;
 pub mod retry;
 pub mod sample;
 pub mod sweep;

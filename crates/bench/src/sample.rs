@@ -37,7 +37,9 @@
 //! merge fraction (the paper's headline redundancy metric) is estimated
 //! the same stratified way from the windows' fetch-mode slot counts.
 
+use mmt_obs::{HistogramId, MetricsRegistry, MetricsSnapshot};
 use mmt_sim::{Ffwd, MemoryHierarchy, RunSpec, SimConfig, Simulator};
+use std::time::Instant;
 
 /// Sampling schedule, in *instructions* (summed over threads — the same
 /// clock [`Simulator::instructions_fetched`] reports).
@@ -132,6 +134,78 @@ impl SampledEstimate {
     }
 }
 
+/// Wall-clock self-profiling of a sampled run, per execution tier.
+///
+/// Registers `mmt_tier_wall_seconds{tier="detailed"|"ffwd"}` histograms
+/// (one observation per detailed window / skip interval) and a
+/// `mmt_tier_switches_total` counter, and absorbs the per-stage
+/// `mmt_stage_seconds` snapshots of the inner window simulators when
+/// `SimConfig::metrics` is enabled — so one snapshot answers "where did
+/// the wall-clock of this two-speed run actually go".
+pub struct TierProfiler {
+    registry: MetricsRegistry,
+    detailed: HistogramId,
+    ffwd: HistogramId,
+    switches: mmt_obs::CounterId,
+    inner: Option<MetricsSnapshot>,
+}
+
+impl TierProfiler {
+    /// Register the tier series.
+    pub fn new() -> TierProfiler {
+        let mut registry = MetricsRegistry::new();
+        let bounds = mmt_obs::metrics::exponential_bounds(1e-6, 10.0, 8);
+        let help = "Wall-clock seconds per execution interval, by tier";
+        let detailed = registry.histogram(
+            "mmt_tier_wall_seconds",
+            help,
+            &[("tier", "detailed")],
+            &bounds,
+        );
+        let ffwd = registry.histogram("mmt_tier_wall_seconds", help, &[("tier", "ffwd")], &bounds);
+        let switches = registry.counter(
+            "mmt_tier_switches_total",
+            "Execution-mode switches (detailed window entries + skip intervals)",
+            &[],
+        );
+        TierProfiler {
+            registry,
+            detailed,
+            ffwd,
+            switches,
+            inner: None,
+        }
+    }
+
+    fn observe(&mut self, id: HistogramId, wall: std::time::Duration) {
+        self.registry.observe(id, wall.as_secs_f64());
+        self.registry.inc(self.switches);
+    }
+
+    fn absorb(&mut self, snap: Option<MetricsSnapshot>) {
+        let Some(snap) = snap else { return };
+        match &mut self.inner {
+            Some(acc) => acc.merge(&snap),
+            None => self.inner = Some(snap),
+        }
+    }
+
+    /// Tier histograms plus the merged inner-simulator stage profile.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.registry.snapshot();
+        if let Some(inner) = &self.inner {
+            snap.merge(inner);
+        }
+        snap
+    }
+}
+
+impl Default for TierProfiler {
+    fn default() -> Self {
+        TierProfiler::new()
+    }
+}
+
 /// Run `spec` under `cfg` with the SMARTS-style schedule in `sample`.
 ///
 /// The program runs to completion (architecturally exact); timing is
@@ -143,6 +217,31 @@ impl SampledEstimate {
 /// Panics on simulator or executor errors — the harness runs
 /// statically-known-good workloads (same policy as [`crate::run_app`]).
 pub fn run_sampled(cfg: &SimConfig, spec: &RunSpec, sample: &SampleConfig) -> SampledEstimate {
+    run_sampled_inner(cfg, spec, sample, None)
+}
+
+/// [`run_sampled`] with tier self-profiling: also returns a metrics
+/// snapshot of where the run's wall-clock went (see [`TierProfiler`]).
+///
+/// # Panics
+///
+/// Panics on simulator or executor errors (see [`run_sampled`]).
+pub fn run_sampled_profiled(
+    cfg: &SimConfig,
+    spec: &RunSpec,
+    sample: &SampleConfig,
+) -> (SampledEstimate, MetricsSnapshot) {
+    let mut profiler = TierProfiler::new();
+    let est = run_sampled_inner(cfg, spec, sample, Some(&mut profiler));
+    (est, profiler.snapshot())
+}
+
+fn run_sampled_inner(
+    cfg: &SimConfig,
+    spec: &RunSpec,
+    sample: &SampleConfig,
+    mut profiler: Option<&mut TierProfiler>,
+) -> SampledEstimate {
     assert!(sample.measure > 0, "measure quantum must be non-empty");
     let ffwd = Ffwd::new(&spec.program);
     let mut state = spec.initial_arch_state();
@@ -157,6 +256,7 @@ pub fn run_sampled(cfg: &SimConfig, spec: &RunSpec, sample: &SampleConfig) -> Sa
     while !state.all_halted() && windows.len() < sample.max_windows {
         // Detailed window: rebuild the pipeline from the architectural
         // state, warm it, then measure one quantum.
+        let window_wall = Instant::now();
         let mut sim =
             Simulator::from_arch_warmed(cfg.clone(), spec.program.clone(), &state, hierarchy)
                 .expect("sampled handoff accepts the architectural state");
@@ -188,20 +288,40 @@ pub fn run_sampled(cfg: &SimConfig, spec: &RunSpec, sample: &SampleConfig) -> Sa
         }
         detailed_insts += sim.instructions_fetched() - window_start;
         state = sim.arch_state();
+        // Inner window sims never reach finish(); their stage profile is
+        // read out here (None unless `cfg.metrics` is on).
+        if let Some(p) = profiler.as_mut() {
+            let snap = sim.metrics_snapshot();
+            p.absorb(snap);
+        }
         hierarchy = sim.into_hierarchy();
+        if let Some(p) = profiler.as_mut() {
+            let detailed = p.detailed;
+            p.observe(detailed, window_wall.elapsed());
+        }
         if state.all_halted() {
             break;
         }
         if sample.skip > 0 {
+            let skip_wall = Instant::now();
             ffwd.advance_warming(&spec.program, &mut state, sample.skip, &mut hierarchy)
                 .expect("fast-forward executes the skip interval");
+            if let Some(p) = profiler.as_mut() {
+                let ffwd_id = p.ffwd;
+                p.observe(ffwd_id, skip_wall.elapsed());
+            }
         }
     }
     // Window cap hit before completion: drain the tail functionally so
     // the instruction total stays exact.
     if !state.all_halted() {
+        let tail_wall = Instant::now();
         ffwd.run_to_halt(&spec.program, &mut state, u64::MAX)
             .expect("fast-forward drains the tail");
+        if let Some(p) = profiler.as_mut() {
+            let ffwd_id = p.ffwd;
+            p.observe(ffwd_id, tail_wall.elapsed());
+        }
     }
 
     let total_insts = state.total_retired();
@@ -312,6 +432,52 @@ mod tests {
             "merge fraction {} vs golden {golden_merge}",
             est.merge_fraction
         );
+    }
+
+    #[test]
+    fn tier_profiler_accounts_for_the_run() {
+        let (mut cfg, spec) = setup("swaptions", 2);
+        cfg.metrics = true;
+        let sample = SampleConfig {
+            skip: 800,
+            warmup: 100,
+            measure: 200,
+            max_windows: 4_096,
+        };
+        let (est, snap) = run_sampled_profiled(&cfg, &spec, &sample);
+        let hist_count = |tier: &str| {
+            snap.series
+                .iter()
+                .find(|s| {
+                    s.name == "mmt_tier_wall_seconds"
+                        && s.labels.iter().any(|(k, v)| k == "tier" && v == tier)
+                })
+                .map(|s| match &s.value {
+                    mmt_obs::SeriesValue::Histogram { count, .. } => *count,
+                    v => panic!("tier series is not a histogram: {v:?}"),
+                })
+                .expect("tier series registered")
+        };
+        // One observation per detailed window entry (the final window
+        // can end the run) and at least one skip/tail interval.
+        assert_eq!(hist_count("detailed"), est.windows.len() as u64);
+        assert!(hist_count("ffwd") >= 1);
+        // The inner window sims' stage profile was absorbed.
+        let stage_cycles: u64 = snap
+            .series
+            .iter()
+            .filter(|s| s.name == "mmt_stage_seconds")
+            .map(|s| match &s.value {
+                mmt_obs::SeriesValue::Histogram { count, .. } => *count,
+                v => panic!("stage series is not a histogram: {v:?}"),
+            })
+            .sum();
+        assert!(stage_cycles > 0, "inner stage profile absorbed");
+        // And the profiled run's estimate matches the unprofiled one —
+        // profiling must not perturb the schedule.
+        let plain = run_sampled(&cfg, &spec, &sample);
+        assert_eq!(plain.total_insts, est.total_insts);
+        assert_eq!(plain.measured_cycles, est.measured_cycles);
     }
 
     #[test]

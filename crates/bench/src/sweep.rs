@@ -156,6 +156,124 @@ impl Default for Supervision {
     }
 }
 
+/// Parse `--progress PATH`: when present, a sweep streams per-point
+/// progress records (start/heartbeat/retry/finish/fail) to PATH as
+/// JSONL, so a multi-minute run is observable while it executes
+/// (`tail -f`).
+pub fn progress_arg(args: &[String]) -> Option<PathBuf> {
+    crate::arg_value(args, "--progress").map(PathBuf::from)
+}
+
+/// Live progress stream for long sweeps: one JSON object per line,
+/// flushed per event, safe to share across worker threads.
+///
+/// Line shape: `{"ms":…,"event":…,"label":…,"attempt":…}` plus
+/// event-specific fields (`kind`/`message` on `retry`/`fail`,
+/// `wall_ms` on `finish`, `waited_ms` on `heartbeat`). `ms` is
+/// milliseconds since the sink was opened, so records order even when
+/// lines from parallel points interleave.
+#[derive(Debug)]
+pub struct ProgressSink {
+    file: Mutex<std::fs::File>,
+    opened: Instant,
+    heartbeat_every: Duration,
+}
+
+impl ProgressSink {
+    /// Create (truncating) the progress file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<ProgressSink> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(ProgressSink {
+            file: Mutex::new(std::fs::File::create(path)?),
+            opened: Instant::now(),
+            heartbeat_every: Duration::from_secs(1),
+        })
+    }
+
+    /// Override the heartbeat interval (default 1s).
+    pub fn with_heartbeat_every(mut self, every: Duration) -> ProgressSink {
+        self.heartbeat_every = every.max(Duration::from_millis(1));
+        self
+    }
+
+    fn write_line(&self, build: impl FnOnce(&mut mmt_obs::json::ObjectWriter<'_>)) {
+        let mut line = String::with_capacity(96);
+        let mut w = mmt_obs::json::ObjectWriter::new(&mut line);
+        w.f64(
+            "ms",
+            (self.opened.elapsed().as_secs_f64() * 1000.0 * 10.0).round() / 10.0,
+        );
+        build(&mut w);
+        w.finish();
+        line.push('\n');
+        use std::io::Write as _;
+        let mut file = self.file.lock().expect("progress sink poisoned");
+        // Progress is advisory: a full disk must not fail the sweep.
+        let _ = file.write_all(line.as_bytes());
+        let _ = file.flush();
+    }
+
+    fn event(&self, event: &str, label: &str, attempt: u32) {
+        self.write_line(|w| {
+            w.str("event", event)
+                .str("label", label)
+                .u64("attempt", attempt as u64);
+        });
+    }
+
+    /// A point's attempt began.
+    pub fn start(&self, label: &str, attempt: u32) {
+        self.event("start", label, attempt);
+    }
+
+    /// A point is still running (emitted every heartbeat interval while
+    /// the supervisor waits).
+    pub fn heartbeat(&self, label: &str, attempt: u32, waited: Duration) {
+        self.write_line(|w| {
+            w.str("event", "heartbeat")
+                .str("label", label)
+                .u64("attempt", attempt as u64)
+                .f64("waited_ms", waited.as_secs_f64() * 1000.0);
+        });
+    }
+
+    /// A transient failure is about to be retried.
+    pub fn retry(&self, label: &str, attempt: u32, kind: FailureKind, message: &str) {
+        self.write_line(|w| {
+            w.str("event", "retry")
+                .str("label", label)
+                .u64("attempt", attempt as u64)
+                .str("kind", kind.name())
+                .str("message", message);
+        });
+    }
+
+    /// A point completed successfully.
+    pub fn finish(&self, label: &str, attempt: u32, wall: Duration) {
+        self.write_line(|w| {
+            w.str("event", "finish")
+                .str("label", label)
+                .u64("attempt", attempt as u64)
+                .f64("wall_ms", wall.as_secs_f64() * 1000.0);
+        });
+    }
+
+    /// A point failed for good (after retries).
+    pub fn fail(&self, label: &str, failure: &PointFailure) {
+        self.write_line(|w| {
+            w.str("event", "fail")
+                .str("label", label)
+                .u64("attempt", failure.attempts as u64)
+                .str("kind", failure.kind.name())
+                .str("message", &failure.message);
+        });
+    }
+}
+
 /// One attempt's transient failure, before retry accounting.
 struct AttemptFailure {
     kind: FailureKind,
@@ -169,6 +287,7 @@ fn run_attempt<T, R, F>(
     item: T,
     deadline: Option<Duration>,
     f: Arc<F>,
+    heartbeat: Option<(&ProgressSink, &str, u32)>,
 ) -> Result<Result<R, String>, AttemptFailure>
 where
     T: Send + 'static,
@@ -180,18 +299,48 @@ where
         let outcome = catch_unwind(AssertUnwindSafe(|| f(item)));
         let _ = tx.send(outcome);
     });
-    let received = match deadline {
-        Some(limit) => rx.recv_timeout(limit).map_err(|_| AttemptFailure {
-            kind: FailureKind::Timeout,
-            message: format!(
-                "no result within the {:.1}s deadline; attempt abandoned",
-                limit.as_secs_f64()
-            ),
-        }),
-        None => rx.recv().map_err(|_| AttemptFailure {
-            kind: FailureKind::Panic,
-            message: "attempt thread died without reporting a result".into(),
-        }),
+    let started = Instant::now();
+    // Wait in slices so a live sweep can emit heartbeats; with no
+    // progress sink and no deadline this is a plain blocking recv.
+    let received = loop {
+        let remaining = deadline.map(|limit| limit.saturating_sub(started.elapsed()));
+        if remaining == Some(Duration::ZERO) {
+            break Err(AttemptFailure {
+                kind: FailureKind::Timeout,
+                message: format!(
+                    "no result within the {:.1}s deadline; attempt abandoned",
+                    deadline.expect("remaining implies deadline").as_secs_f64()
+                ),
+            });
+        }
+        let slice = match (heartbeat, remaining) {
+            (Some((sink, _, _)), Some(rem)) => Some(sink.heartbeat_every.min(rem)),
+            (Some((sink, _, _)), None) => Some(sink.heartbeat_every),
+            (None, rem) => rem,
+        };
+        let outcome = match slice {
+            Some(slice) => rx.recv_timeout(slice),
+            None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+        };
+        match outcome {
+            Ok(v) => break Ok(v),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                break Err(AttemptFailure {
+                    kind: FailureKind::Panic,
+                    message: "attempt thread died without reporting a result".into(),
+                })
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if let Some((sink, label, attempt)) = heartbeat {
+                    // Only a real heartbeat tick, not a deadline expiry
+                    // (that is caught at the top of the next iteration).
+                    let due = deadline.is_none_or(|limit| started.elapsed() < limit);
+                    if due {
+                        sink.heartbeat(label, attempt, started.elapsed());
+                    }
+                }
+            }
+        }
     };
     match received {
         Ok(Ok(result)) => {
@@ -228,6 +377,7 @@ fn supervise_point<T, R, F>(
     label: &str,
     item: &T,
     sup: &Supervision,
+    progress: Option<&ProgressSink>,
     f: &Arc<F>,
 ) -> Result<R, PointFailure>
 where
@@ -236,33 +386,54 @@ where
     F: Fn(T) -> Result<R, String> + Send + Sync + 'static,
 {
     let attempts = sup.retry.attempts.max(1);
+    let started = Instant::now();
     let mut transient: Option<AttemptFailure> = None;
     for attempt in 0..attempts {
         if attempt > 0 {
+            let fail = transient.as_ref().expect("retry follows a failure");
+            if let Some(p) = progress {
+                p.retry(label, attempt + 1, fail.kind, &fail.message);
+            }
             std::thread::sleep(sup.retry.backoff_before(attempt));
+        } else if let Some(p) = progress {
+            p.start(label, 1);
         }
-        match run_attempt(item.clone(), sup.deadline, Arc::clone(f)) {
-            Ok(Ok(result)) => return Ok(result),
+        let heartbeat = progress.map(|p| (p, label, attempt + 1));
+        match run_attempt(item.clone(), sup.deadline, Arc::clone(f), heartbeat) {
+            Ok(Ok(result)) => {
+                if let Some(p) = progress {
+                    p.finish(label, attempt + 1, started.elapsed());
+                }
+                return Ok(result);
+            }
             Ok(Err(message)) => {
                 // Typed simulator errors are deterministic: retrying
                 // re-runs the identical computation, so fail fast.
-                return Err(PointFailure {
+                let failure = PointFailure {
                     label: label.to_string(),
                     kind: FailureKind::Error,
                     message,
                     attempts: attempt + 1,
-                });
+                };
+                if let Some(p) = progress {
+                    p.fail(label, &failure);
+                }
+                return Err(failure);
             }
             Err(fail) => transient = Some(fail),
         }
     }
     let fail = transient.expect("at least one attempt ran");
-    Err(PointFailure {
+    let failure = PointFailure {
         label: label.to_string(),
         kind: fail.kind,
         message: fail.message,
         attempts,
-    })
+    };
+    if let Some(p) = progress {
+        p.fail(label, &failure);
+    }
+    Err(failure)
 }
 
 /// [`run_parallel`] with per-point supervision: each point runs under
@@ -282,9 +453,29 @@ where
     R: Send + 'static,
     F: Fn(T) -> Result<R, String> + Send + Sync + 'static,
 {
+    run_supervised_progress(items, jobs, sup, None, label, f)
+}
+
+/// [`run_supervised`] with an optional live [`ProgressSink`]: every
+/// point streams `start` / `heartbeat` / `retry` / `finish` / `fail`
+/// records as it moves through supervision, so a multi-minute sweep can
+/// be watched with `tail -f`.
+pub fn run_supervised_progress<T, R, F>(
+    items: &[T],
+    jobs: usize,
+    sup: &Supervision,
+    progress: Option<&ProgressSink>,
+    label: impl Fn(&T) -> String + Sync,
+    f: F,
+) -> Vec<Result<R, PointFailure>>
+where
+    T: Clone + Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> Result<R, String> + Send + Sync + 'static,
+{
     let f = Arc::new(f);
     run_parallel(items, jobs, |item| {
-        supervise_point(&label(item), item, sup, &f)
+        supervise_point(&label(item), item, sup, progress, &f)
     })
 }
 
@@ -648,6 +839,100 @@ mod tests {
         let f = out[0].as_ref().unwrap_err();
         assert_eq!(f.kind, FailureKind::Timeout);
         assert!(f.message.contains("deadline"), "{}", f.message);
+    }
+
+    #[test]
+    fn progress_stream_covers_the_point_lifecycle() {
+        let path = std::env::temp_dir().join(format!("mmt-progress-{}.jsonl", std::process::id()));
+        let sink = ProgressSink::create(&path)
+            .unwrap()
+            .with_heartbeat_every(Duration::from_millis(20));
+        let sup = Supervision {
+            deadline: None,
+            retry: RetryPolicy {
+                attempts: 2,
+                base_backoff: Duration::ZERO,
+                ..Default::default()
+            },
+        };
+        use std::sync::atomic::AtomicU32;
+        let calls = Arc::new(AtomicU32::new(0));
+        let seen = Arc::clone(&calls);
+        let out = run_supervised_progress(
+            &[0u32, 1],
+            2,
+            &sup,
+            Some(&sink),
+            |i| format!("p{i}"),
+            move |i: u32| {
+                if i == 0 && seen.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient");
+                }
+                // Long enough for at least one heartbeat tick.
+                std::thread::sleep(Duration::from_millis(60));
+                Ok(i)
+            },
+        );
+        assert!(out.iter().all(|r| r.is_ok()));
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<mmt_obs::json::Value> = text
+            .lines()
+            .map(|l| mmt_obs::json::parse(l).expect("every progress line is valid JSON"))
+            .collect();
+        let of = |ev: &str, label: &str| {
+            events
+                .iter()
+                .filter(|v| {
+                    v.get("event").unwrap().as_str() == Some(ev)
+                        && v.get("label").unwrap().as_str() == Some(label)
+                })
+                .count()
+        };
+        assert_eq!(of("start", "p0"), 1);
+        assert_eq!(of("start", "p1"), 1);
+        assert_eq!(of("retry", "p0"), 1, "transient panic surfaced as retry");
+        assert_eq!(of("finish", "p0"), 1);
+        assert_eq!(of("finish", "p1"), 1);
+        assert!(of("heartbeat", "p1") >= 1, "long point heartbeats");
+        assert_eq!(of("fail", "p0") + of("fail", "p1"), 0);
+        // ms stamps are monotonically non-decreasing (single writer lock).
+        let stamps: Vec<f64> = events
+            .iter()
+            .map(|v| v.get("ms").unwrap().as_f64().unwrap())
+            .collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_points_emit_fail_records() {
+        let path = std::env::temp_dir().join(format!("mmt-progress-f{}.jsonl", std::process::id()));
+        let sink = ProgressSink::create(&path).unwrap();
+        let sup = Supervision {
+            deadline: Some(Duration::from_millis(40)),
+            retry: RetryPolicy::once(),
+        };
+        let out = run_supervised_progress(
+            &[0u32],
+            1,
+            &sup,
+            Some(&sink),
+            |_| "hung".to_string(),
+            |_| -> Result<u32, String> {
+                std::thread::sleep(Duration::from_secs(5));
+                Ok(0)
+            },
+        );
+        assert!(out[0].is_err());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let fail_line = text
+            .lines()
+            .map(|l| mmt_obs::json::parse(l).unwrap())
+            .find(|v| v.get("event").unwrap().as_str() == Some("fail"))
+            .expect("fail record emitted");
+        assert_eq!(fail_line.get("kind").unwrap().as_str(), Some("timeout"));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -223,6 +223,17 @@ pub struct SimConfig {
     /// steady-state loop stays allocation-free and the simulated behavior
     /// is bit-identical either way.
     pub trace: Option<mmt_obs::TraceConfig>,
+    /// Simulator phase self-profiling (`mmt-obs` metrics registry):
+    /// when set, the simulator times each pipeline stage
+    /// (fetch/dispatch/issue/commit) per cycle into wall-clock
+    /// histograms and folds the end-of-run `SimStats` counters into
+    /// [`crate::SimResult::metrics`]. The registry only *reads* the
+    /// host clock — it never touches simulated state — so enabling it
+    /// cannot change any architectural or timing result (enforced by
+    /// the golden-digest equivalence tests). Off by default: the
+    /// steady-state loop then pays one branch on an always-`None`
+    /// option.
+    pub metrics: bool,
 }
 
 impl SimConfig {
@@ -264,6 +275,7 @@ impl SimConfig {
             record_merge_log: false,
             record_pc_profile: false,
             trace: None,
+            metrics: false,
         }
     }
 

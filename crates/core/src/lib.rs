@@ -54,6 +54,7 @@ pub mod hw_cost;
 pub mod inject;
 pub mod itid;
 pub mod lvip;
+pub mod metrics;
 pub mod pipeline;
 pub mod rst;
 pub mod snapshot;
@@ -66,8 +67,9 @@ pub use ffwd::Ffwd;
 pub use inject::{flip_byte, CampaignRng, Fault, FaultTarget};
 pub use itid::Itid;
 pub use lvip::Lvip;
+pub use metrics::{SimMetrics, SimPhase};
 pub use mmt_mem::MemoryHierarchy;
-pub use mmt_obs::{Trace, TraceConfig};
+pub use mmt_obs::{MetricsSnapshot, Trace, TraceConfig};
 pub use pipeline::{Checkpoint, RunSpec, SimError, SimResult, Simulator};
 pub use snapshot::{ArchState, MemArch, ThreadArch};
 pub use stats::{EnergyEvents, FetchModeCounts, IdentityCounts, PcCounters, SimStats};

@@ -183,6 +183,11 @@ pub struct SimResult {
     /// otherwise): typed event stream, windowed metrics series, and the
     /// metadata the `mmt-obs` exporters need.
     pub trace: Option<mmt_obs::Trace>,
+    /// The phase-profiling metrics snapshot, when
+    /// [`SimConfig::metrics`] was set (`None` otherwise): per-stage
+    /// wall-clock histograms plus the headline `SimStats` counters,
+    /// exportable as JSON or Prometheus text.
+    pub metrics: Option<mmt_obs::MetricsSnapshot>,
 }
 
 type UopId = usize;
@@ -466,6 +471,9 @@ pub struct Simulator {
     /// Tracing recorder ([`SimConfig::trace`]); `None` compiles every
     /// emission site down to one pointer test.
     obs: Option<Box<mmt_obs::ObsRecorder>>,
+    /// Phase self-profiler ([`SimConfig::metrics`]); host-clock only,
+    /// never reads or writes simulated state.
+    metrics: Option<Box<crate::SimMetrics>>,
 
     // Hot-path caches: per-cycle scratch buffers and debug-env flags
     // looked up once at construction instead of every cycle/branch.
@@ -576,6 +584,7 @@ impl Simulator {
                     n >= 2 && cfg.level.shared_fetch(),
                 ))
             }),
+            metrics: cfg.metrics.then(|| Box::new(crate::SimMetrics::new())),
             scratch: Scratch {
                 issued_ids: Vec::with_capacity(cfg.issue_width),
                 created: Vec::with_capacity(cfg.rename_width),
@@ -648,9 +657,9 @@ impl Simulator {
             let exec0 = self.stats.uops_executed;
             let disp0 = self.stats.uops_dispatched;
             let fetch0 = self.stats.macro_ops_fetched;
-            self.commit_stage();
-            self.issue_stage();
-            self.dispatch_stage();
+            self.timed_phase(crate::SimPhase::Commit, Simulator::commit_stage);
+            self.timed_phase(crate::SimPhase::Issue, Simulator::issue_stage);
+            self.timed_phase(crate::SimPhase::Dispatch, Simulator::dispatch_stage);
             let disp_now = self.stats.uops_dispatched - disp_before;
             self.dbg_dispatch_hist[disp_now.min(8) as usize] += 1;
             if disp_now == 0 {
@@ -668,7 +677,7 @@ impl Simulator {
                     self.dbg_stall_other += 1;
                 }
             }
-            self.fetch_stage()?;
+            self.timed_phase(crate::SimPhase::Fetch, Simulator::fetch_stage)?;
             if let Some(range) = self.trace.clone() {
                 if range.contains(&self.now) {
                     eprintln!(
@@ -769,12 +778,17 @@ impl Simulator {
                 },
             )
         });
+        let metrics = self.metrics.take().map(|mut m| {
+            m.finish(&self.stats);
+            m.snapshot()
+        });
         let final_regs = self.threads.iter().map(|t| *t.machine.regs()).collect();
         SimResult {
             stats: self.stats,
             final_regs,
             merge_log: self.merge_log,
             trace,
+            metrics,
         }
     }
 
@@ -1275,6 +1289,7 @@ impl Simulator {
             stats: self.stats.clone(),
             merge_log: self.merge_log.clone(),
             obs: None,
+            metrics: self.metrics.clone(),
             scratch: Scratch {
                 issued_ids: clone_keep_cap(&self.scratch.issued_ids),
                 created: clone_keep_cap(&self.scratch.created),
@@ -1290,6 +1305,33 @@ impl Simulator {
     // Tracing (mmt-obs). With SimConfig::trace unset, every site below
     // reduces to a branch on an always-None option.
     // ----------------------------------------------------------------
+
+    /// The current phase-profiling snapshot, when
+    /// [`SimConfig::metrics`] is set. Safe to call mid-run: snapshots
+    /// are immutable copies, and a later snapshot minus this one (via
+    /// [`mmt_obs::MetricsSnapshot::delta`]) isolates an interval.
+    pub fn metrics_snapshot(&self) -> Option<mmt_obs::MetricsSnapshot> {
+        self.metrics.as_deref().map(crate::SimMetrics::snapshot)
+    }
+
+    /// Run one pipeline stage, timing it into the phase profiler when
+    /// [`SimConfig::metrics`] is set. The profiler only reads the host
+    /// clock after the stage returns, so the simulated behavior is
+    /// bit-identical with metrics on or off; with metrics off this is
+    /// one branch around the direct call.
+    #[inline]
+    fn timed_phase<R>(&mut self, phase: crate::SimPhase, f: fn(&mut Simulator) -> R) -> R {
+        if self.metrics.is_none() {
+            return f(self);
+        }
+        let start = std::time::Instant::now();
+        let r = f(self);
+        let elapsed = start.elapsed();
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.observe_phase(phase, elapsed);
+        }
+        r
+    }
 
     /// Record one trace event at the current cycle (no-op when tracing
     /// is off).

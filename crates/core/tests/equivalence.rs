@@ -116,10 +116,15 @@ fn digest(r: &SimResult) -> u64 {
 }
 
 fn run(app_name: &str, threads: usize) -> SimResult {
+    run_with_metrics(app_name, threads, false)
+}
+
+fn run_with_metrics(app_name: &str, threads: usize, metrics: bool) -> SimResult {
     let app = app_by_name(app_name).expect("known app");
     let w = app.instance(threads, SCALE);
     let mut cfg = SimConfig::paper_with(threads, MmtLevel::Fxr);
     cfg.record_merge_log = true;
+    cfg.metrics = metrics;
     let spec = RunSpec {
         program: w.program,
         sharing: w.sharing,
@@ -169,4 +174,48 @@ fn runs_are_deterministic() {
     let a = digest(&run("fft", 2));
     let b = digest(&run("fft", 2));
     assert_eq!(a, b, "same workload, same digest");
+}
+
+/// Timing invisibility of the metrics layer: the phase profiler only
+/// reads the host clock, so a run with `SimConfig::metrics` enabled must
+/// hit the *same* pre-PR golden digests as a disabled run — every
+/// counter, register, and merge-log entry bit-identical. The profiler
+/// must also actually have observed the run (nonempty snapshot with one
+/// stage-histogram observation per stage call).
+#[test]
+fn metrics_are_timing_invisible() {
+    for &(app, threads, want) in GOLDENS.iter().take(2) {
+        let r = run_with_metrics(app, threads, true);
+        assert_eq!(
+            digest(&r),
+            want,
+            "{app} @ {threads} threads: metrics-enabled run drifted from the golden digest"
+        );
+        let snap = r.metrics.expect("metrics snapshot attached");
+        let cycles = snap
+            .series
+            .iter()
+            .find(|s| s.name == "mmt_cycles_total")
+            .expect("cycles counter folded in");
+        assert_eq!(
+            cycles.value,
+            mmt_obs::SeriesValue::Counter(r.stats.cycles),
+            "folded counter mirrors SimStats"
+        );
+        for s in &snap.series {
+            if s.name != "mmt_stage_seconds" {
+                continue;
+            }
+            match &s.value {
+                mmt_obs::SeriesValue::Histogram { count, .. } => assert_eq!(
+                    *count, r.stats.cycles,
+                    "one observation per stage per cycle ({:?})",
+                    s.labels
+                ),
+                v => panic!("stage series is not a histogram: {v:?}"),
+            }
+        }
+    }
+    // And the disabled path attaches nothing.
+    assert!(run("fft", 2).metrics.is_none());
 }

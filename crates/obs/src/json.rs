@@ -1,10 +1,17 @@
-//! A minimal recursive-descent JSON parser.
+//! A minimal JSON reader *and* writer.
 //!
 //! The workspace vendors a serializer-only `serde_json` stub (offline
 //! containers, no registry), so trace validation and baseline reading
 //! need their own reader. This parses the full JSON grammar into a
 //! [`Value`] tree; it favors clear errors over speed and is used only on
 //! tool/test paths, never in the cycle loop.
+//!
+//! The write side ([`push_escaped`], [`ObjectWriter`],
+//! [`Value::to_json`]) is the one escaping-correct serializer every
+//! hand-rolled JSON line in the workspace routes through. Bins used to
+//! format strings with `{:?}` — Rust's `Debug` escapes non-ASCII as
+//! `\u{e9}`, which is *invalid* JSON — so string emission lives here
+//! once, with regression tests, instead of per-binary.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -141,6 +148,153 @@ impl std::error::Error for FileParseError {}
 pub fn parse_file(path: impl AsRef<Path>) -> Result<Value, FileParseError> {
     let text = std::fs::read_to_string(path).map_err(FileParseError::Io)?;
     parse(&text).map_err(FileParseError::Parse)
+}
+
+/// Append `s` to `out` as a JSON string literal, surrounding quotes
+/// included. Escapes `"` and `\`, the short-form control characters
+/// (`\n`, `\r`, `\t`, `\u{8}`, `\u{c}`), and the remaining C0 control
+/// characters as `\u00XX`; non-ASCII scalars pass through verbatim
+/// (JSON documents are UTF-8).
+pub fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The JSON string literal for `s` (see [`push_escaped`]).
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_escaped(&mut out, s);
+    out
+}
+
+/// Append a finite `f64` in round-trippable form; JSON has no NaN or
+/// infinity, so those serialize as `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = std::fmt::Write::write_fmt(out, format_args!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Incremental writer for one JSON object: handles comma placement and
+/// string escaping so call sites only name keys and values. The shared
+/// primitive behind every hand-rolled JSON line in the bench bins.
+#[derive(Debug)]
+pub struct ObjectWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> ObjectWriter<'a> {
+    /// Open an object (`{`) on `out`.
+    pub fn new(out: &'a mut String) -> ObjectWriter<'a> {
+        out.push('{');
+        ObjectWriter { out, first: true }
+    }
+
+    fn key(&mut self, key: &str) -> &mut String {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        push_escaped(self.out, key);
+        self.out.push(':');
+        self.out
+    }
+
+    /// Write a string field (escaped).
+    pub fn str(&mut self, key: &str, val: &str) -> &mut Self {
+        let out = self.key(key);
+        push_escaped(out, val);
+        self
+    }
+
+    /// Write an unsigned integer field.
+    pub fn u64(&mut self, key: &str, val: u64) -> &mut Self {
+        let out = self.key(key);
+        let _ = std::fmt::Write::write_fmt(out, format_args!("{val}"));
+        self
+    }
+
+    /// Write a float field (`null` for non-finite values).
+    pub fn f64(&mut self, key: &str, val: f64) -> &mut Self {
+        let out = self.key(key);
+        push_f64(out, val);
+        self
+    }
+
+    /// Write a boolean field.
+    pub fn bool(&mut self, key: &str, val: bool) -> &mut Self {
+        let out = self.key(key);
+        out.push_str(if val { "true" } else { "false" });
+        self
+    }
+
+    /// Write a field whose value is already-serialized JSON.
+    pub fn raw(&mut self, key: &str, val: &str) -> &mut Self {
+        self.key(key).push_str(val);
+        self
+    }
+
+    /// Close the object (`}`).
+    pub fn finish(self) {
+        self.out.push('}');
+    }
+}
+
+impl Value {
+    /// Serialize back to compact JSON text. Round-trips with [`parse`]
+    /// up to number formatting (numbers are stored as `f64`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Append this value to `out` as compact JSON.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => push_f64(out, *n),
+            Value::String(s) => push_escaped(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                let mut w = ObjectWriter::new(out);
+                for (k, v) in map {
+                    let mut val = String::new();
+                    v.write_json(&mut val);
+                    w.raw(k, &val);
+                }
+                w.finish();
+            }
+        }
+    }
 }
 
 struct Parser<'a> {
@@ -414,6 +568,62 @@ mod tests {
     fn empty_containers() {
         assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
         assert_eq!(parse(" {} ").unwrap(), Value::Object(BTreeMap::new()));
+    }
+
+    #[test]
+    fn escaping_round_trips_hostile_strings() {
+        // The regression set: control characters, quotes, backslashes,
+        // and non-ASCII — exactly the inputs Rust's `Debug` formatting
+        // (the old bin-side "serializer") gets wrong.
+        for s in [
+            "plain",
+            "with \"quotes\" and \\backslashes\\",
+            "newline\nand\ttab and\rreturn",
+            "control \u{1} \u{8} \u{c} \u{1f} chars",
+            "café → ümlaut 日本語 🦀",
+            "",
+        ] {
+            let lit = escaped(s);
+            let v = parse(&lit).unwrap_or_else(|e| panic!("{lit} does not parse: {e}"));
+            assert_eq!(v.as_str(), Some(s), "round-trip of {s:?}");
+        }
+    }
+
+    #[test]
+    fn debug_formatting_is_not_json() {
+        // Documents why the writer exists: `{:?}` escapes non-ASCII as
+        // `\u{e9}`, which the grammar rejects.
+        let debug = format!("{:?}", "caf\u{e9}\u{1}");
+        assert!(parse(&debug).is_err(), "Debug output parsed as JSON");
+        assert!(parse(&escaped("caf\u{e9}\u{1}")).is_ok());
+    }
+
+    #[test]
+    fn object_writer_builds_valid_documents() {
+        let mut out = String::new();
+        let mut w = ObjectWriter::new(&mut out);
+        w.str("app", "caf\u{e9}\n")
+            .u64("threads", 4)
+            .f64("ipc", 1.25)
+            .f64("nan", f64::NAN)
+            .bool("ok", true)
+            .raw("list", "[1,2]");
+        w.finish();
+        let v = parse(&out).expect("writer output parses");
+        assert_eq!(v.get("app").unwrap().as_str(), Some("caf\u{e9}\n"));
+        assert_eq!(v.get("threads").unwrap().as_f64(), Some(4.0));
+        assert_eq!(v.get("ipc").unwrap().as_f64(), Some(1.25));
+        assert_eq!(v.get("nan"), Some(&Value::Null));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("list").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn value_to_json_round_trips() {
+        let src = r#"{"a":[1,2.5,-300],"b":{"c":"x\ny é","d":null,"e":true}}"#;
+        let v = parse(src).unwrap();
+        let re = parse(&v.to_json()).unwrap();
+        assert_eq!(v, re);
     }
 
     #[test]

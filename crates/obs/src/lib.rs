@@ -9,6 +9,9 @@
 //!   accounting, so steady-state tracing never perturbs the cycle loop;
 //! * a [windowed metrics recorder](window) emitting per-N-cycle time
 //!   series (per-thread IPC, fetch-mode fractions, occupancies);
+//! * a typed, allocation-free [metrics registry](metrics) — counters,
+//!   gauges, fixed-bucket histograms — snapshotable mid-run and
+//!   exportable as JSON or Prometheus text exposition;
 //! * exporters: [Chrome trace-event JSON](chrome) loadable in Perfetto,
 //!   compact [JSONL](jsonl), and a text [timeline summary](timeline);
 //! * an offline [replay](mod@replay) that folds an event stream back into
@@ -23,6 +26,7 @@ pub mod chrome;
 pub mod event;
 pub mod json;
 pub mod jsonl;
+pub mod metrics;
 pub mod replay;
 pub mod ring;
 pub mod timeline;
@@ -32,6 +36,10 @@ pub use chrome::{chrome_trace_json, validate_chrome_trace, ChromeSummary};
 pub use event::{
     FaultUnit, FetchKind, LvipOutcome, ModeTag, ModeTrigger, SplitCause, SplitKind, TraceEvent,
     TraceRecord, WatchdogKind,
+};
+pub use metrics::{
+    CounterId, GaugeId, HistogramId, MetricKind, MetricSeries, MetricsRegistry, MetricsSnapshot,
+    SeriesValue,
 };
 pub use replay::{replay, CounterSet};
 pub use ring::EventRing;

@@ -1,0 +1,153 @@
+//! Property tests for the metrics registry (DESIGN.md §17): Prometheus
+//! label-value escaping round-trips through a spec-faithful mini
+//! parser, sanitized metric names are always legal and idempotent, and
+//! a mid-run snapshot plus the end-of-run delta reproduces the end
+//! totals exactly.
+
+use mmt_obs::metrics::{escape_label_value, sanitize_name};
+use mmt_obs::{MetricsRegistry, MetricsSnapshot};
+use proptest::prelude::*;
+
+/// Decode draws into a hostile string: the alphabet is weighted toward
+/// exactly the characters that break naive exposition writers — quotes,
+/// backslashes, newlines — plus non-ASCII and control characters (the
+/// vendored proptest has no regex string strategies).
+fn hostile_string(draws: &[u8]) -> String {
+    const ALPHABET: [char; 16] = [
+        '"', '\\', '\n', 'n', 'a', 'Z', '0', ' ', '{', '}', ',', '=', 'é', '秒', '\t', '\u{1}',
+    ];
+    draws
+        .iter()
+        .map(|&b| ALPHABET[b as usize % ALPHABET.len()])
+        .collect()
+}
+
+/// Undo [`escape_label_value`] per the exposition-format spec: `\\`,
+/// `\"`, `\n` are the only defined escapes.
+fn unescape_label_value(escaped: &str) -> Option<String> {
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                'n' => out.push('\n'),
+                _ => return None,
+            }
+        } else if c == '"' || c == '\n' {
+            return None; // must have been escaped
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Pull the (still-escaped) value of `label` out of one exposition
+/// line like `name{label="…",other="…"} 1`.
+fn extract_label(line: &str, label: &str) -> Option<String> {
+    let start = line.find(&format!("{label}=\""))? + label.len() + 2;
+    let rest = &line[start..];
+    // Scan to the closing quote, honouring backslash escapes.
+    let mut end = 0;
+    let bytes = rest.as_bytes();
+    while end < bytes.len() {
+        match bytes[end] {
+            b'\\' => end += 2,
+            b'"' => return Some(rest[..end].to_string()),
+            _ => end += 1,
+        }
+    }
+    None
+}
+
+proptest! {
+    #[test]
+    fn label_values_round_trip_through_the_exposition_format(draws in prop::collection::vec(any::<u8>(), 0..40)) {
+        let v = hostile_string(&draws);
+        // Direct inverse of the escaper.
+        let round_tripped = unescape_label_value(&escape_label_value(&v));
+        prop_assert_eq!(round_tripped.as_deref(), Some(v.as_str()));
+
+        // End to end: register a counter carrying the value as a label,
+        // render the exposition text, re-extract and unescape. The
+        // hostile cases are quotes, backslashes and newlines, which a
+        // naive writer would let break the line structure.
+        let mut reg = MetricsRegistry::new();
+        let id = reg.counter("mmt_prop_total", "prop", &[("payload", v.as_str())]);
+        reg.inc(id);
+        let text = reg.snapshot().to_prometheus();
+        let sample = text
+            .lines()
+            .find(|l| l.starts_with("mmt_prop_total{"))
+            .expect("sample line rendered");
+        prop_assert!(sample.ends_with(" 1"), "sample line mangled: {sample:?}");
+        let escaped = extract_label(sample, "payload").expect("label present");
+        prop_assert_eq!(unescape_label_value(&escaped), Some(v.clone()));
+    }
+
+    #[test]
+    fn label_values_survive_json_export_too(draws in prop::collection::vec(any::<u8>(), 0..40)) {
+        let v = hostile_string(&draws);
+        let mut reg = MetricsRegistry::new();
+        reg.counter("mmt_prop_total", "prop", &[("payload", v.as_str())]);
+        let json = reg.snapshot().to_json();
+        let parsed = mmt_obs::json::parse(&json).expect("snapshot JSON parses");
+        let series = parsed.as_array().expect("array of series");
+        let got = series[0]
+            .get("labels")
+            .and_then(|l| l.get("payload"))
+            .and_then(|p| p.as_str());
+        prop_assert_eq!(got, Some(v.as_str()));
+    }
+
+    #[test]
+    fn sanitized_names_are_legal_and_idempotent(draws in prop::collection::vec(any::<u8>(), 0..24)) {
+        let s = sanitize_name(&hostile_string(&draws));
+        prop_assert!(!s.is_empty());
+        let mut chars = s.chars();
+        let first = chars.next().unwrap();
+        prop_assert!(first.is_ascii_alphabetic() || first == '_' || first == ':', "{s:?}");
+        prop_assert!(
+            chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "{s:?}"
+        );
+        prop_assert_eq!(sanitize_name(&s), s);
+    }
+
+    #[test]
+    fn mid_run_snapshot_plus_delta_equals_end_totals(
+        ops in prop::collection::vec((0u8..3, 0u16..1000), 1..64),
+        split in 0usize..64,
+    ) {
+        // Integer-valued observations keep every f64 sum exact, so the
+        // property can demand bit equality rather than tolerance.
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("mmt_prop_total", "c", &[]);
+        let g = reg.gauge("mmt_prop_gauge", "g", &[]);
+        let h = reg.histogram("mmt_prop_seconds", "h", &[], &[10.0, 100.0, 500.0]);
+        let split = split % ops.len();
+        let apply = |reg: &mut MetricsRegistry, (kind, v): (u8, u16)| match kind {
+            0 => reg.add(c, v as u64),
+            1 => reg.set(g, v as f64),
+            _ => reg.observe(h, v as f64),
+        };
+
+        for &op in &ops[..split] {
+            apply(&mut reg, op);
+        }
+        let mid = reg.snapshot();
+        for &op in &ops[split..] {
+            apply(&mut reg, op);
+        }
+        let end = reg.snapshot();
+
+        // Counters and histograms recombine additively; gauges take the
+        // later value. Together: mid ⊕ (end − mid) == end, exactly.
+        let delta = end.delta(&mid);
+        let mut recombined: MetricsSnapshot = mid.clone();
+        recombined.merge(&delta);
+        prop_assert_eq!(recombined, end);
+    }
+}
